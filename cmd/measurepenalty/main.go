@@ -1,0 +1,95 @@
+// Command measurepenalty reproduces the paper's Table 1 in isolation: the
+// per-context-switch cache penalties P^A and P^NA for each application,
+// each intervening application, and each rescheduling interval Q, measured
+// with the Section-4 stationary/migrating/multiprogrammed protocol against
+// the exact cache simulator.
+//
+// Usage:
+//
+//	measurepenalty [-budget SEC] [-seed N] [-csv] [-detail]
+//
+// -detail additionally prints the underlying run data (response times,
+// switch counts, miss counts) for each regime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/measure"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+func main() {
+	budget := flag.Float64("budget", 20, "per-run compute budget (seconds)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	detail := flag.Bool("detail", false, "print per-regime run details")
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.MeasureBudget = simtime.Seconds(*budget)
+	opts.Seed = *seed
+	if err := run(opts, *csv, *detail); err != nil {
+		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opts experiments.Options, csv, detail bool) error {
+	t1, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	for _, t := range experiments.Table1Report(t1) {
+		if csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			if err := t.Write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	if detail {
+		return writeDetail(t1)
+	}
+	return nil
+}
+
+func writeDetail(t1 measure.Table1) error {
+	t := report.Table{
+		Title: "Per-regime run detail",
+		Headers: []string{"Q", "measured", "regime", "intervening",
+			"RT (s)", "switches", "misses", "miss ratio"},
+	}
+	addRun := func(q simtime.Duration, app, intervening string, r measure.RunResult) {
+		ratio := 0.0
+		if r.Accesses > 0 {
+			ratio = float64(r.Misses) / float64(r.Accesses)
+		}
+		t.AddRow(q.String(), app, r.Regime.String(), intervening,
+			report.F(r.ResponseTime.SecondsF(), 3),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.Misses),
+			report.F(ratio, 4))
+	}
+	for _, q := range t1.Qs {
+		for _, app := range t1.Apps {
+			pen := t1.Cells[q][app]
+			addRun(q, app, "-", pen.Stationary)
+			addRun(q, app, "-", pen.Migrating)
+			for _, iv := range t1.Apps {
+				if r, ok := pen.Multi[iv]; ok {
+					addRun(q, app, iv, r)
+				}
+			}
+		}
+	}
+	return t.Write(os.Stdout)
+}

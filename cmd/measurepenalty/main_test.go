@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+)
+
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement is seconds-long")
+	}
+	opts := experiments.DefaultOptions()
+	opts.MeasureBudget = 3 * simtime.Second
+	for _, mode := range []struct{ csv, detail bool }{{false, true}, {true, false}} {
+		if err := run(opts, mode.csv, mode.detail); err != nil {
+			t.Fatalf("csv=%v detail=%v: %v", mode.csv, mode.detail, err)
+		}
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	opts := experiments.DefaultOptions()
+	opts.MeasureBudget = 0
+	if err := run(opts, false, false); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison is seconds-long")
+	}
+	opts := experiments.FastOptions()
+	opts.Replications = 1
+	if err := run(opts, 5, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, 1, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadMix(t *testing.T) {
+	if err := run(experiments.FastOptions(), 9, false, false); err == nil {
+		t.Error("mix 9 accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: simulate one multiprogrammed workload on the modelled Sequent
+// Symmetry under two scheduling policies and compare response times.
+//
+// This is the smallest end-to-end use of the library: build a machine,
+// instantiate applications, run the discrete-event scheduler, read metrics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The paper's testbed: a Sequent Symmetry, restricted to 16 processors.
+	mc := machine.Symmetry()
+	mc.Processors = 16
+
+	// Workload mix #5 from the paper's Table 2: one blocked matrix
+	// multiply (massive constant parallelism) multiprogrammed with one
+	// Barnes-Hut simulation (bursty parallelism with barriers).
+	apps := []workload.App{workload.Matrix(), workload.Gravity(42)}
+
+	for _, mkPolicy := range []func() string{
+		func() string { return "Equipartition" },
+		func() string { return "Dyn-Aff" },
+	} {
+		name := mkPolicy()
+		policy, ok := core.ByName(name)
+		if !ok {
+			log.Fatalf("unknown policy %s", name)
+		}
+		res, err := sched.Run(sched.Config{
+			Machine: mc,
+			Policy:  policy,
+			Apps:    apps,
+			Seed:    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", res.Policy)
+		for _, j := range res.Jobs {
+			fmt.Printf("  %-8s response %6.2fs | held %4.1f CPUs | wasted %6.2f CPU-s | "+
+				"%4d reallocations (%2.0f%% with affinity, every %3.0f ms)\n",
+				j.App, j.ResponseTime.SecondsF(), j.AvgAlloc, j.Waste.SecondsF(),
+				j.Reallocations, 100*j.PctAffinity(), j.ReallocInterval().Millis())
+		}
+	}
+
+	fmt.Println("\nThe dynamic policy finishes both jobs sooner: reallocating")
+	fmt.Println("processors in response to changing parallelism beats a static")
+	fmt.Println("equal partition, even though every reallocation costs a context")
+	fmt.Println("switch plus cache reloading — the paper's central result.")
+}

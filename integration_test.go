@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// TestModelReproducesMeasurementAtBaseline verifies the parameter-extraction
+// contract: the analytic model, parameterized from a scheduling experiment
+// per Section 7.3, must reproduce the measured response time exactly at
+// speed = cache = 1 (work is backed out of equation (1), so this is a
+// round-trip check on the whole extraction pipeline).
+func TestModelReproducesMeasurementAtBaseline(t *testing.T) {
+	opts := experiments.FastOptions()
+	mix, _ := workload.MixByNumber(5)
+	policies := []string{"Equipartition", "Dynamic", "Dyn-Aff"}
+	cr, err := experiments.ComparePolicies(opts, []workload.Mix{mix}, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := experiments.Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := experiments.FutureScenarios(cr, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, sc := range scen {
+		for pol, params := range sc.Policies {
+			modelRT := params.ResponseTime()
+			// Recover the measured RT for this (mix, app, policy).
+			var measured float64
+			n := 0
+			for _, js := range cr.Summaries[key.Mix][pol] {
+				if js.App == key.App {
+					measured += js.MeanRT()
+					n++
+				}
+			}
+			measured /= float64(n)
+			if math.Abs(modelRT-measured)/measured > 0.01 {
+				t.Errorf("%v/%s: model RT %.3f vs measured %.3f", key, pol, modelRT, measured)
+			}
+		}
+	}
+}
+
+// TestPipelineDeterminism verifies that the entire experiment pipeline is
+// reproducible: identical options produce byte-identical reports.
+func TestPipelineDeterminism(t *testing.T) {
+	render := func() string {
+		opts := experiments.FastOptions()
+		opts.Replications = 1
+		mix, _ := workload.MixByNumber(5)
+		cr, err := experiments.ComparePolicies(opts, []workload.Mix{mix},
+			[]string{"Equipartition", "Dynamic", "Dyn-Aff"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := cr.Figure5Report([]string{"Dynamic", "Dyn-Aff"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := tab.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("pipeline not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPaperConclusionsAtPaperScale is the capstone: at full paper scale
+// (one replication to keep it minutes-fast), every headline conclusion of
+// the paper must hold. Skipped under -short.
+func TestPaperConclusionsAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run is tens of seconds")
+	}
+	opts := experiments.DefaultOptions()
+	opts.Replications = 1
+	opts.MeasureBudget = 10 * simtime.Second
+	policies := []string{"Equipartition", "Dynamic", "Dyn-Aff", "Dyn-Aff-Delay"}
+	cr, err := experiments.ComparePolicies(opts, workload.Mixes(), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Conclusion 1 (Fig 5): dynamic policies beat or match Equipartition
+	// for every job of every mix.
+	for _, mix := range workload.Mixes() {
+		for _, pol := range []string{"Dynamic", "Dyn-Aff", "Dyn-Aff-Delay"} {
+			rel, err := cr.Relative(mix.Number, pol, "Equipartition")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range rel {
+				if r > 1.03 {
+					t.Errorf("mix #%d job %d: %s relative RT %.3f > 1", mix.Number, i, pol, r)
+				}
+			}
+		}
+	}
+
+	// Conclusion 2 (Table 3): the dynamic variants are nearly identical
+	// today, while their %affinity differs dramatically.
+	sums := cr.Summaries[5]
+	dynAffGap := math.Abs(sums["Dynamic"][1].MeanRT()-sums["Dyn-Aff"][1].MeanRT()) /
+		sums["Dynamic"][1].MeanRT()
+	if dynAffGap > 0.05 {
+		t.Errorf("Dynamic vs Dyn-Aff RT gap %.3f, want < 5%%", dynAffGap)
+	}
+	if sums["Dyn-Aff"][1].PctAffinity < 3*sums["Dynamic"][1].PctAffinity {
+		t.Errorf("affinity contrast too weak: %v vs %v",
+			sums["Dyn-Aff"][1].PctAffinity, sums["Dynamic"][1].PctAffinity)
+	}
+
+	// Conclusion 3 (Table 3): yield-delay substantially reduces
+	// reallocations.
+	if sums["Dyn-Aff-Delay"][1].Reallocations > 0.8*sums["Dyn-Aff"][1].Reallocations {
+		t.Errorf("yield delay barely reduced reallocations: %v vs %v",
+			sums["Dyn-Aff-Delay"][1].Reallocations, sums["Dyn-Aff"][1].Reallocations)
+	}
+
+	// Conclusion 4 (Figs 8-13): Dynamic's relative RT rises with the
+	// speed×cache product and crosses 1.0; the affinity variants cross
+	// later or not at all.
+	t1, err := experiments.Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := experiments.FutureScenarios(cr, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scen[experiments.ScenarioKey{Mix: 5, App: "GRAVITY"}]
+	products := model.Products(1<<14, 4)
+	crossDyn, err := sc.Crossover("Dynamic", products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossDyn == 0 {
+		t.Error("Dynamic never crossed Equipartition — Section 7's rise is missing")
+	}
+	crossAff, err := sc.Crossover("Dyn-Aff", products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossAff != 0 && crossAff < crossDyn {
+		t.Errorf("Dyn-Aff crossed (%v) before Dynamic (%v)", crossAff, crossDyn)
+	}
+	crossDelay, err := sc.Crossover("Dyn-Aff-Delay", products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crossDelay != 0 && crossAff != 0 && crossDelay < crossAff {
+		t.Errorf("Dyn-Aff-Delay crossed (%v) before Dyn-Aff (%v)", crossDelay, crossAff)
+	}
+}

@@ -1,0 +1,287 @@
+// Package alloc defines the Minos-style processor allocator framework: the
+// allocator-visible system state, the triggers on which allocation is
+// reconsidered, and the Policy interface that the paper's five space-sharing
+// disciplines (implemented in internal/core) plug into.
+//
+// Minos, the allocator the paper uses, runs as a user-level process that
+// jobs communicate with through shared memory: each job continually
+// reflects its instantaneous processor demand, and marks processors it
+// cannot use as "willing to yield". The discrete-event engine in
+// internal/sched plays the role of the operating system plus that shared
+// memory: before each policy invocation it publishes a fresh State snapshot
+// (demands, allocations, priorities/credits, and the affinity histories of
+// processors and tasks), and afterwards it applies the policy's
+// reassignment decisions, charging reallocation costs.
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// TaskRef identifies a kernel task: the Task'th worker of job Job.
+type TaskRef struct {
+	Job, Task int
+}
+
+// NoTask is the absent task reference.
+var NoTask = TaskRef{Job: -1, Task: -1}
+
+// Valid reports whether the reference denotes a real task.
+func (t TaskRef) Valid() bool { return t.Job >= 0 && t.Task >= 0 }
+
+// Trigger identifies why the allocator is being invoked.
+type Trigger int
+
+// Allocation triggers.
+const (
+	// TrigArrival fires when a job enters the system (arg = job).
+	TrigArrival Trigger = iota
+	// TrigCompletion fires when a job leaves the system (arg = job).
+	TrigCompletion
+	// TrigDemandUp fires when a job's demand rises above its allocation
+	// (arg = job) — the job is requesting additional processors.
+	TrigDemandUp
+	// TrigProcFree fires when a processor becomes available for
+	// reallocation: unassigned, or marked willing-to-yield (arg = proc).
+	TrigProcFree
+	// TrigQuantum fires on quantum expiry for quantum-driven policies
+	// (arg = -1).
+	TrigQuantum
+)
+
+// String names the trigger.
+func (t Trigger) String() string {
+	switch t {
+	case TrigArrival:
+		return "arrival"
+	case TrigCompletion:
+		return "completion"
+	case TrigDemandUp:
+		return "demand-up"
+	case TrigProcFree:
+		return "proc-free"
+	case TrigQuantum:
+		return "quantum"
+	}
+	return fmt.Sprintf("Trigger(%d)", int(t))
+}
+
+// Decision reassigns one processor. Job == -1 releases the processor to the
+// unassigned pool. Task, when non-nil, directs the engine to dispatch that
+// specific task on the processor (the task-targeted grants of affinity
+// rules A.1 and A.2); otherwise the job's runtime picks an arbitrary
+// suspended task.
+type Decision struct {
+	Proc int
+	Job  int
+	Task *TaskRef
+}
+
+// State is the allocator-visible snapshot the engine publishes before each
+// Rebalance call. Policies may freely mutate it as scratch space (for
+// example, updating Alloc/ProcJob provisionally while constructing a
+// decision list); the engine rebuilds it from authoritative run state
+// before the next invocation.
+type State struct {
+	// Procs is the machine's processor count.
+	Procs int
+
+	// Per-job state, indexed by job ID.
+	Active []bool    // job is in the system
+	Demand []int     // instantaneous processor demand
+	Alloc  []int     // processors currently assigned
+	Credit []float64 // accrued priority credit (McCann et al. scheme)
+	MaxPar []int     // maximum parallelism (Equipartition's cap)
+
+	// Per-processor state.
+	ProcJob     []int  // assigned job, or -1
+	ProcWorking []bool // assigned and currently executing a thread
+	ProcYield   []bool // assigned, idle, and offered for reallocation
+
+	// Affinity histories (T = P = 1, as in the paper).
+	ProcLastTask []TaskRef // last task to have run on each processor
+	// LastTaskResumable[p] reports whether ProcLastTask[p] is not active
+	// elsewhere and its job has work for it (allocation rule A.1's
+	// precondition), precomputed by the engine.
+	LastTaskResumable []bool
+	// Desired[j] lists job j's desired processors under allocation rule
+	// A.2 — for each of the job's resumable tasks, the processor it last
+	// ran on — ordered by criticality (preempted tasks, which hold
+	// in-progress threads, before idle ones). The paper's constraint
+	// applies: a desired processor is granted only when it is not doing
+	// useful work, never by preempting its current task.
+	Desired [][]DesiredProc
+}
+
+// DesiredProc is a desired processor and the task that wants it.
+type DesiredProc struct {
+	Proc int
+	Task TaskRef
+}
+
+// NewState allocates a State sized for the given processor and job counts.
+func NewState(procs, jobs int) *State {
+	s := &State{
+		Procs:             procs,
+		Active:            make([]bool, jobs),
+		Demand:            make([]int, jobs),
+		Alloc:             make([]int, jobs),
+		Credit:            make([]float64, jobs),
+		MaxPar:            make([]int, jobs),
+		ProcJob:           make([]int, procs),
+		ProcWorking:       make([]bool, procs),
+		ProcYield:         make([]bool, procs),
+		ProcLastTask:      make([]TaskRef, procs),
+		LastTaskResumable: make([]bool, procs),
+		Desired:           make([][]DesiredProc, jobs),
+	}
+	for p := 0; p < procs; p++ {
+		s.ProcJob[p] = -1
+		s.ProcLastTask[p] = NoTask
+	}
+	return s
+}
+
+// NumJobs returns the number of job slots (active or not).
+func (s *State) NumJobs() int { return len(s.Active) }
+
+// ActiveJobs returns the IDs of jobs currently in the system.
+func (s *State) ActiveJobs() []int {
+	var out []int
+	for j, a := range s.Active {
+		if a {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// FairShare returns the equal-division share of processors per active job
+// (zero when no job is active).
+func (s *State) FairShare() float64 {
+	n := len(s.ActiveJobs())
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Procs) / float64(n)
+}
+
+// Requesters returns active jobs whose demand exceeds their allocation,
+// ordered by descending credit (ties broken by lower job ID, keeping the
+// simulation deterministic).
+func (s *State) Requesters() []int {
+	var out []int
+	for j := range s.Active {
+		if s.Active[j] && s.Demand[j] > s.Alloc[j] {
+			out = append(out, j)
+		}
+	}
+	// Insertion sort by (credit desc, id asc): requester lists are tiny.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0; k-- {
+			a, b := out[k-1], out[k]
+			if s.Credit[b] > s.Credit[a] {
+				out[k-1], out[k] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// UnassignedProcs returns processors not assigned to any job, in index
+// order (allocation rule D.1's supply).
+func (s *State) UnassignedProcs() []int {
+	var out []int
+	for p, j := range s.ProcJob {
+		if j == -1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// YieldingProcs returns processors marked willing-to-yield, in index order
+// (allocation rule D.2's supply).
+func (s *State) YieldingProcs() []int {
+	var out []int
+	for p := range s.ProcJob {
+		if s.ProcJob[p] != -1 && s.ProcYield[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LargestAllocJob returns the active job with the most processors,
+// excluding 'except' (pass -1 to exclude none); ties break to the lower
+// job ID. It returns -1 if no active job holds a processor.
+func (s *State) LargestAllocJob(except int) int {
+	best, bestAlloc := -1, 0
+	for j := range s.Active {
+		if !s.Active[j] || j == except {
+			continue
+		}
+		if s.Alloc[j] > bestAlloc {
+			best, bestAlloc = j, s.Alloc[j]
+		}
+	}
+	return best
+}
+
+// ProcsOf returns the processors currently assigned to job j, in index
+// order.
+func (s *State) ProcsOf(j int) []int {
+	var out []int
+	for p, owner := range s.ProcJob {
+		if owner == j {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Assign provisionally applies a decision to the snapshot, so a policy's
+// later logic observes its earlier choices within one Rebalance call.
+func (s *State) Assign(proc, job int) {
+	old := s.ProcJob[proc]
+	if old == job {
+		return
+	}
+	if old >= 0 {
+		s.Alloc[old]--
+	}
+	s.ProcJob[proc] = job
+	s.ProcYield[proc] = false
+	s.ProcWorking[proc] = false
+	if job >= 0 {
+		s.Alloc[job]++
+	}
+}
+
+// Policy is a processor allocation discipline.
+//
+// A Policy value carries per-run state (for example, a rotation cursor) and
+// must not be shared between simulation runs.
+type Policy interface {
+	// Name returns the discipline's name as used in the paper.
+	Name() string
+	// Rebalance inspects the snapshot and returns processor reassignments.
+	// arg is the trigger's subject (job or processor index, -1 if none).
+	Rebalance(s *State, trig Trigger, arg int) []Decision
+	// YieldDelay returns how long an idle processor is held by its job
+	// before being offered for reallocation (0 = offered immediately).
+	YieldDelay() simtime.Duration
+	// Quantum returns the time slice for quantum-driven policies
+	// (0 = event-driven only).
+	Quantum() simtime.Duration
+	// PrefersAffinity reports whether, when a processor is handed to a
+	// job, the job's runtime should resume the task that last ran on that
+	// processor (rather than an arbitrary suspended task). Affinity-blind
+	// policies answer false, which keeps their measured %affinity at
+	// chance level as in the paper's Table 3.
+	PrefersAffinity() bool
+}

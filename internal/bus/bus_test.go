@@ -1,0 +1,141 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func fill() simtime.Duration { return simtime.Duration(750) } // 0.75 µs
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, simtime.Millisecond); err == nil {
+		t.Error("zero fill accepted")
+	}
+	if _, err := New(fill(), 1); err == nil {
+		t.Error("tiny window accepted")
+	}
+	if _, err := New(fill(), simtime.Millisecond); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestIdleBusServesAtFillTime(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	if got := b.Service(0); got != fill() {
+		t.Errorf("first service = %v, want %v", got, fill())
+	}
+}
+
+func TestUtilizationRisesWithLoad(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	if u := b.Utilization(0); u != 0 {
+		t.Errorf("idle utilization = %v", u)
+	}
+	// Saturate: issue transactions back to back.
+	now := simtime.Time(0)
+	for i := 0; i < 10000; i++ {
+		now = now.Add(b.Service(now))
+	}
+	// Back-to-back arrivals equilibrate near ρ = 0.5: the inflated service
+	// time 1/(1-ρ) already includes queueing delay, so busy time accrues at
+	// half the rate the clock advances.
+	if u := b.Utilization(now); u < 0.4 {
+		t.Errorf("utilization after saturation = %v, want >= 0.4", u)
+	}
+}
+
+func TestContentionInflatesService(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	now := simtime.Time(0)
+	for i := 0; i < 10000; i++ {
+		now = now.Add(b.Service(now))
+	}
+	if got := b.Service(now); got <= fill() {
+		t.Errorf("service under load = %v, want > %v", got, fill())
+	}
+	// And bounded by the inflation cap.
+	if got := b.Service(now); got > fill().Scale(maxInflation) {
+		t.Errorf("service = %v exceeds cap", got)
+	}
+}
+
+func TestUtilizationDecaysWhenIdle(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	now := simtime.Time(0)
+	for i := 0; i < 5000; i++ {
+		now = now.Add(b.Service(now))
+	}
+	busy := b.Utilization(now)
+	later := now.Add(simtime.Seconds(1))
+	if got := b.Utilization(later); got != 0 {
+		t.Errorf("utilization after 1s idle = %v (was %v), want 0", got, busy)
+	}
+}
+
+func TestServiceN(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	total := b.ServiceN(0, 100)
+	if total < 100*fill() {
+		t.Errorf("ServiceN(100) = %v, want >= %v", total, 100*fill())
+	}
+	if got := b.Stats().Transactions; got != 100 {
+		t.Errorf("transactions = %d, want 100", got)
+	}
+	if got := b.ServiceN(0, 0); got != 0 {
+		t.Errorf("ServiceN(0) = %v", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := MustNew(fill(), 10*simtime.Millisecond)
+	b.Service(0)
+	b.Service(100)
+	st := b.Stats()
+	if st.Transactions != 2 || st.BusyTime != 2*fill() {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Property: service time is always in [fill, fill*cap], and utilization is
+// always in [0, 1], for arbitrary arrival sequences.
+func TestQuickServiceBounds(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		b := MustNew(fill(), 10*simtime.Millisecond)
+		now := simtime.Time(0)
+		for _, g := range gaps {
+			now = now.Add(simtime.Duration(g) * simtime.Microsecond / 4)
+			d := b.Service(now)
+			if d < fill() || d > fill().Scale(maxInflation)+1 {
+				return false
+			}
+			u := b.Utilization(now)
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkService(b *testing.B) {
+	bus := MustNew(fill(), 10*simtime.Millisecond)
+	now := simtime.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(bus.Service(now) + simtime.Microsecond)
+	}
+}

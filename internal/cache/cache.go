@@ -1,0 +1,281 @@
+// Package cache implements an exact set-associative cache simulator with
+// LRU replacement and per-owner residency accounting.
+//
+// The simulated cache corresponds to one per-processor cache of the Sequent
+// Symmetry Model B studied in the paper: 64 Kbytes, 2-way set associative,
+// 16-byte lines (4096 lines in 2048 sets), copy-back with an
+// invalidation-based coherency protocol. All of those parameters are
+// configurable.
+//
+// Because the reproduction's experiments are about *which task's* data
+// occupies the cache, every access is tagged with an owner (a task
+// identifier), and the cache tracks how many lines each owner currently has
+// resident. That per-owner footprint is exactly the quantity the paper's
+// affinity arguments are about, and is what the analytic footprint model in
+// internal/footprint is validated against.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// LineBytes is the line (block) size in bytes. Must be a power of two.
+	LineBytes int
+	// Ways is the associativity. Must be >= 1.
+	Ways int
+}
+
+// SymmetryConfig returns the cache geometry of the Sequent Symmetry Model B:
+// 64 KB, 2-way set associative, 16-byte lines.
+func SymmetryConfig() Config {
+	return Config{SizeBytes: 64 * 1024, LineBytes: 16, Ways: 2}
+}
+
+// Lines returns the total number of lines the cache holds.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Ways }
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.Lines()
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// NoOwner marks an invalid (empty) way.
+const NoOwner = -1
+
+type way struct {
+	tag   uint64 // line address (byte address >> lineShift); valid iff owner != NoOwner
+	owner int
+	used  uint64 // global access counter value at last touch, for LRU
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      []way // sets*ways entries, set-major
+	nways     int
+
+	clock    uint64
+	resident map[int]int // owner -> lines currently resident
+
+	accesses uint64
+	misses   uint64
+	evicted  uint64
+}
+
+// New constructs a cache with the given geometry. It returns an error when
+// the geometry is invalid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(cfg.Sets() - 1),
+		ways:      make([]way, cfg.Lines()),
+		nways:     cfg.Ways,
+		resident:  make(map[int]int),
+	}
+	for i := range c.ways {
+		c.ways[i].owner = NoOwner
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates a reference by owner to the byte address addr and reports
+// whether it hit. On a miss the line is installed for owner, evicting the
+// set's least recently used line if necessary.
+func (c *Cache) Access(owner int, addr uint64) bool {
+	if owner < 0 {
+		panic("cache: negative owner")
+	}
+	c.clock++
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.nways
+	ws := c.ways[set : set+c.nways]
+
+	// Hit?
+	for i := range ws {
+		if ws[i].owner != NoOwner && ws[i].tag == line {
+			ws[i].used = c.clock
+			if ws[i].owner != owner {
+				// Shared line touched by a new owner: account it to the
+				// most recent toucher, mirroring who benefits from it.
+				c.resident[ws[i].owner]--
+				c.resident[owner]++
+				ws[i].owner = owner
+			}
+			return true
+		}
+	}
+
+	// Miss: find an invalid way, else evict LRU.
+	c.misses++
+	victim := 0
+	for i := range ws {
+		if ws[i].owner == NoOwner {
+			victim = i
+			goto install
+		}
+		if ws[i].used < ws[victim].used {
+			victim = i
+		}
+	}
+	c.evicted++
+	c.resident[ws[victim].owner]--
+install:
+	ws[victim] = way{tag: line, owner: owner, used: c.clock}
+	c.resident[owner]++
+	return false
+}
+
+// Flush invalidates the entire cache, as the paper's migration experiment
+// does by streaming through memory before resuming the measured program.
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i].owner = NoOwner
+	}
+	for k := range c.resident {
+		delete(c.resident, k)
+	}
+}
+
+// InvalidateOwner removes every line belonging to owner, modelling coherency
+// invalidations when the owner's task writes the same data from another
+// processor. It returns the number of lines invalidated.
+func (c *Cache) InvalidateOwner(owner int) int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].owner == owner {
+			c.ways[i].owner = NoOwner
+			n++
+		}
+	}
+	if n > 0 {
+		delete(c.resident, owner)
+	}
+	return n
+}
+
+// InvalidateN removes up to n of owner's lines (scanning in way order, a
+// deterministic stand-in for "whichever shared lines were written"). It
+// returns the number of lines invalidated.
+func (c *Cache) InvalidateN(owner, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	removed := 0
+	for i := range c.ways {
+		if removed >= n {
+			break
+		}
+		if c.ways[i].owner == owner {
+			c.ways[i].owner = NoOwner
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.resident[owner] -= removed
+		if c.resident[owner] <= 0 {
+			delete(c.resident, owner)
+		}
+	}
+	return removed
+}
+
+// Resident returns the number of lines owner currently has in the cache.
+func (c *Cache) Resident(owner int) int { return c.resident[owner] }
+
+// Occupied returns the total number of valid lines.
+func (c *Cache) Occupied() int {
+	total := 0
+	for _, n := range c.resident {
+		total += n
+	}
+	return total
+}
+
+// Owners returns the set of owners with at least one resident line.
+func (c *Cache) Owners() []int {
+	var out []int
+	for o, n := range c.resident {
+		if n > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Stats reports cumulative access counts.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+	Evicted  uint64
+}
+
+// Stats returns cumulative counters since construction (Flush does not
+// reset them).
+func (c *Cache) Stats() Stats {
+	return Stats{Accesses: c.accesses, Misses: c.misses, Evicted: c.evicted}
+}
+
+// MissRatio returns misses/accesses, or 0 before any access.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Clone returns an independent deep copy of the cache, used by the exact
+// cache model to plan a segment's misses on scratch state before committing
+// it to the real cache.
+func (c *Cache) Clone() *Cache {
+	out := *c
+	out.ways = append([]way(nil), c.ways...)
+	out.resident = make(map[int]int, len(c.resident))
+	for k, v := range c.resident {
+		out.resident[k] = v
+	}
+	return &out
+}

@@ -1,0 +1,239 @@
+// Package cachemodel abstracts per-processor cache behaviour for the
+// discrete-event scheduler, with two interchangeable implementations:
+//
+//   - Footprint: the fast analytic occupancy model (internal/footprint)
+//     used for the paper-scale experiments; and
+//   - Exact: a reference implementation that replays every task's actual
+//     memory reference stream (internal/memtrace) through the exact
+//     set-associative simulator (internal/cache).
+//
+// The exact model is orders of magnitude slower and exists to validate the
+// analytic one at the whole-system level: running the same scheduling
+// experiment under both must produce the same qualitative conclusions (see
+// the sched package's cross-model tests and BenchmarkAblationExactEngine).
+//
+// # Plan/commit protocol
+//
+// The scheduler plans a whole execution segment up front (it needs the miss
+// count to schedule the completion event), but a segment may be cut short
+// by preemption. The Model interface therefore splits segment processing:
+// Plan estimates the misses of a prospective compute interval without
+// changing state; Commit applies the prefix that actually executed.
+// Because per-processor caches are touched by exactly one task at a time,
+// planning on cloned state and committing on real state is exact: no other
+// task can interleave between a task's Plan and its Commit on the same
+// processor.
+package cachemodel
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/footprint"
+	"repro/internal/memtrace"
+	"repro/internal/simtime"
+)
+
+// Model is the scheduler's view of the per-processor caches.
+type Model interface {
+	// Resident returns (an estimate of) the number of cache lines task
+	// has resident on proc.
+	Resident(proc, task int) float64
+	// Plan estimates the misses incurred if task executed the compute
+	// interval [c0, c0+w) of its current dispatch on proc, where r0 was
+	// its residency when the dispatch began. Plan must not change state.
+	Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
+	// Commit records that task actually executed [c0, c0+w) on proc and
+	// returns the misses incurred. For a full segment (same arguments as
+	// the preceding Plan) the result equals the plan.
+	Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
+	// InvalidateShared models coherency traffic: a task on fromProc wrote
+	// 'lines' job-shared lines, invalidating any copies the sibling tasks
+	// (by id) hold on OTHER processors. It returns the total lines
+	// invalidated.
+	InvalidateShared(fromProc int, siblings []int, lines float64) float64
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// Footprint is the analytic occupancy model (the default).
+type Footprint struct {
+	procs []*footprint.Cache
+}
+
+// NewFootprint builds the analytic model for nprocs processors with caches
+// of the given capacity.
+func NewFootprint(nprocs, capacityLines int) (*Footprint, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("cachemodel: need at least one processor")
+	}
+	f := &Footprint{}
+	for i := 0; i < nprocs; i++ {
+		fc, err := footprint.New(capacityLines)
+		if err != nil {
+			return nil, err
+		}
+		f.procs = append(f.procs, fc)
+	}
+	return f, nil
+}
+
+// Name implements Model.
+func (f *Footprint) Name() string { return "footprint" }
+
+// Resident implements Model.
+func (f *Footprint) Resident(proc, task int) float64 {
+	return f.procs[proc].Resident(task)
+}
+
+// Plan implements Model.
+func (f *Footprint) Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	return footprint.Segment(pat, c0, c0+w, r0)
+}
+
+// Commit implements Model.
+func (f *Footprint) Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	return f.procs[proc].RunSegment(task, pat, c0, c0+w, r0)
+}
+
+// InvalidateShared implements Model.
+func (f *Footprint) InvalidateShared(fromProc int, siblings []int, lines float64) float64 {
+	total := 0.0
+	for p, fc := range f.procs {
+		if p == fromProc {
+			continue
+		}
+		for _, sib := range siblings {
+			total += fc.Invalidate(sib, lines)
+		}
+	}
+	return total
+}
+
+// Exact replays actual reference streams through exact per-processor
+// caches. Each task owns a deterministic trace generator whose position
+// advances exactly with the compute the scheduler commits.
+type Exact struct {
+	cfg   cache.Config
+	procs []*cache.Cache
+	gens  map[int]*memtrace.Generator // task gid -> its stream
+	seed  uint64
+}
+
+// NewExact builds the exact model for nprocs processors with the given
+// cache geometry. seed fixes all trace streams.
+func NewExact(nprocs int, cfg cache.Config, seed uint64) (*Exact, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("cachemodel: need at least one processor")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Exact{cfg: cfg, gens: make(map[int]*memtrace.Generator), seed: seed}
+	for i := 0; i < nprocs; i++ {
+		e.procs = append(e.procs, cache.MustNew(cfg))
+	}
+	return e, nil
+}
+
+// Name implements Model.
+func (e *Exact) Name() string { return "exact" }
+
+// gen returns (creating on first use) task's reference stream. Tasks get
+// disjoint address spaces and decorrelated seeds.
+func (e *Exact) gen(task int, pat memtrace.Pattern) *memtrace.Generator {
+	if g, ok := e.gens[task]; ok {
+		return g
+	}
+	base := uint64(task+1) << 32
+	g := memtrace.NewGenerator(pat, base, e.seed^uint64(task)*0x9e3779b97f4a7c15)
+	e.gens[task] = g
+	return g
+}
+
+// Resident implements Model.
+func (e *Exact) Resident(proc, task int) float64 {
+	return float64(e.procs[proc].Resident(task))
+}
+
+// replay drives g for w of compute against c, counting misses.
+func replay(c *cache.Cache, g *memtrace.Generator, owner int, w simtime.Duration) float64 {
+	misses := 0
+	start := g.Elapsed()
+	for g.Elapsed()-start < w {
+		addr, _ := g.Next()
+		if !c.Access(owner, addr) {
+			misses++
+		}
+	}
+	return float64(misses)
+}
+
+// Plan implements Model: it replays the prospective interval on cloned
+// cache and stream state.
+func (e *Exact) Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	cc := e.procs[proc].Clone()
+	gg := e.gen(task, pat).Clone()
+	return replay(cc, gg, task, w)
+}
+
+// Commit implements Model: it replays the executed interval on the real
+// cache and stream.
+func (e *Exact) Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return replay(e.procs[proc], e.gen(task, pat), task, w)
+}
+
+// InvalidateShared implements Model.
+func (e *Exact) InvalidateShared(fromProc int, siblings []int, lines float64) float64 {
+	n := int(lines + 0.5)
+	total := 0
+	for p, c := range e.procs {
+		if p == fromProc {
+			continue
+		}
+		for _, sib := range siblings {
+			total += c.InvalidateN(sib, n)
+		}
+	}
+	return float64(total)
+}
+
+// Kind selects a model implementation in configuration structs.
+type Kind int
+
+// Available model kinds.
+const (
+	// KindFootprint is the fast analytic model (default).
+	KindFootprint Kind = iota
+	// KindExact replays full reference streams; orders of magnitude
+	// slower, for validation.
+	KindExact
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindFootprint:
+		return "footprint"
+	case KindExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// New constructs a model of the given kind.
+func New(k Kind, nprocs int, cfg cache.Config, seed uint64) (Model, error) {
+	switch k {
+	case KindFootprint:
+		return NewFootprint(nprocs, cfg.Lines())
+	case KindExact:
+		return NewExact(nprocs, cfg, seed)
+	}
+	return nil, fmt.Errorf("cachemodel: unknown kind %d", int(k))
+}

@@ -1,0 +1,463 @@
+// Package core implements the paper's space-sharing processor allocation
+// policies — the system under study:
+//
+//   - Equipartition: constant equal allocation, reallocating only on job
+//     arrival and completion (Tucker & Gupta's "process control"); the
+//     static extreme, with perfect affinity and maximum waste.
+//   - Dynamic: McCann et al.'s policy; instantaneous demand-driven
+//     reallocation via rules D.1–D.3 with a priority-credit scheme; the
+//     dynamic extreme, minimal waste and maximal reallocations, oblivious
+//     to affinity.
+//   - Dyn-Aff: Dynamic plus affinity rules A.1 (offer a freed processor to
+//     its last task) and A.2 (honor a requesting job's desired processor),
+//     both subordinate to the priority scheme.
+//   - Dyn-Aff-NoPri: the artificial variant that sacrifices the priority
+//     scheme to affinity (A.1 unconditionally; no D.3 fairness
+//     preemption). Used only to bound the benefit affinity could buy.
+//   - Dyn-Aff-Delay: Dyn-Aff plus "yield delay" — a job holds an idle
+//     processor briefly in the hope of new work, trading a little waste
+//     for fewer reallocations.
+//
+// A quantum-driven time-sharing round-robin (TimeShare) is also provided as
+// the baseline for the paper's Section-8 space-vs-time-sharing contrast.
+package core
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/simtime"
+)
+
+// DefaultYieldDelay is the hold time Dyn-Aff-Delay keeps an idle processor
+// before offering it for reallocation.
+const DefaultYieldDelay = 20 * simtime.Millisecond
+
+// DefaultQuantum is the time-sharing baseline's slice length; DYNIX used
+// 100 ms.
+const DefaultQuantum = 100 * simtime.Millisecond
+
+// creditSpendThreshold is the priority-credit surplus (in processor-seconds)
+// beyond which a requester may preempt to a fully equal split under rule
+// D.3.
+const creditSpendThreshold = 2.0
+
+// Equipartition maintains, to the extent possible, a constant equal
+// allocation of processors to all jobs, reallocating only on job arrival
+// and completion.
+type Equipartition struct{}
+
+// NewEquipartition returns the Equipartition policy.
+func NewEquipartition() *Equipartition { return &Equipartition{} }
+
+// Name implements alloc.Policy.
+func (*Equipartition) Name() string { return "Equipartition" }
+
+// YieldDelay implements alloc.Policy; Equipartition never yields idle
+// processors between arrivals.
+func (*Equipartition) YieldDelay() simtime.Duration { return 0 }
+
+// Quantum implements alloc.Policy.
+func (*Equipartition) Quantum() simtime.Duration { return 0 }
+
+// PrefersAffinity implements alloc.Policy; under Equipartition tasks
+// essentially never move, so resuming the local task is the natural
+// behaviour.
+func (*Equipartition) PrefersAffinity() bool { return true }
+
+// Rebalance implements alloc.Policy. On arrival or completion it computes
+// each job's allocation number — every active job's count is incremented in
+// turn, jobs dropping out at their maximum parallelism, until processors
+// are exhausted — and then moves processors to match.
+func (*Equipartition) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
+	if trig != alloc.TrigArrival && trig != alloc.TrigCompletion {
+		return nil
+	}
+	jobs := s.ActiveJobs()
+	if len(jobs) == 0 {
+		// Release everything.
+		var decs []alloc.Decision
+		for p, j := range s.ProcJob {
+			if j != -1 {
+				decs = append(decs, alloc.Decision{Proc: p, Job: -1})
+				s.Assign(p, -1)
+			}
+		}
+		return decs
+	}
+
+	// Allocation numbers.
+	target := make(map[int]int, len(jobs))
+	remaining := s.Procs
+	for remaining > 0 {
+		progressed := false
+		for _, j := range jobs {
+			if remaining == 0 {
+				break
+			}
+			if target[j] >= s.MaxPar[j] {
+				continue
+			}
+			target[j]++
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			break // every job at its maximum parallelism
+		}
+	}
+
+	var decs []alloc.Decision
+	assign := func(p, j int) {
+		decs = append(decs, alloc.Decision{Proc: p, Job: j})
+		s.Assign(p, j)
+	}
+	// Strip processors from completed jobs and over-allocated jobs.
+	for p, j := range s.ProcJob {
+		if j == -1 {
+			continue
+		}
+		if !s.Active[j] || s.Alloc[j] > target[j] {
+			assign(p, -1)
+		}
+	}
+	// Hand unassigned processors to under-allocated jobs.
+	free := s.UnassignedProcs()
+	for _, j := range jobs {
+		for s.Alloc[j] < target[j] && len(free) > 0 {
+			assign(free[0], j)
+			free = free[1:]
+		}
+	}
+	return decs
+}
+
+// dynamicCore implements the shared machinery of the Dynamic family. The
+// flags select the affinity rules (A.1/A.2), whether the priority scheme
+// constrains them, and whether the D.3 fairness preemption applies.
+type dynamicCore struct {
+	name       string
+	affinity   bool // apply rules A.1 and A.2
+	priority   bool // priority scheme constrains affinity; D.3 enabled
+	yieldDelay simtime.Duration
+	// cursor rotates untargeted supply picks so that repeated bursts do
+	// not systematically reacquire the same processors (a real allocator's
+	// "least valuable" choice is effectively arbitrary); per-run state.
+	cursor int
+}
+
+// Name implements alloc.Policy.
+func (d *dynamicCore) Name() string { return d.name }
+
+// YieldDelay implements alloc.Policy.
+func (d *dynamicCore) YieldDelay() simtime.Duration { return d.yieldDelay }
+
+// Quantum implements alloc.Policy.
+func (d *dynamicCore) Quantum() simtime.Duration { return 0 }
+
+// PrefersAffinity implements alloc.Policy: only the affinity variants ask
+// the job runtime to resume the processor's previous task.
+func (d *dynamicCore) PrefersAffinity() bool { return d.affinity }
+
+// Rebalance implements alloc.Policy for the Dynamic family.
+func (d *dynamicCore) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
+	if trig == alloc.TrigQuantum {
+		return nil
+	}
+	var decs []alloc.Decision
+	assign := func(p, j int, task alloc.TaskRef) {
+		dec := alloc.Decision{Proc: p, Job: j}
+		if task.Valid() {
+			t := task
+			dec.Task = &t
+		}
+		decs = append(decs, dec)
+		s.Assign(p, j)
+	}
+
+	// Rule A.1: when a specific processor has just become available, give
+	// it to the last task that ran on it, provided that task is resumable
+	// and — under the priority scheme — its job's priority is as high as
+	// any requester's. The grant is task-targeted: that task resumes on
+	// the processor it has affinity for.
+	if d.affinity && trig == alloc.TrigProcFree && arg >= 0 {
+		p := arg
+		last := s.ProcLastTask[p]
+		if last.Valid() && s.LastTaskResumable[p] &&
+			s.Active[last.Job] && s.Demand[last.Job] > s.Alloc[last.Job] &&
+			s.ProcJob[p] != last.Job {
+			ok := true
+			if d.priority {
+				for _, r := range s.Requesters() {
+					if r != last.Job && s.Credit[r] > s.Credit[last.Job] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				assign(p, last.Job, last)
+			}
+		}
+	}
+
+	// Serve requesters highest-credit-first. Under rule A.2 each request
+	// names a desired processor — where the requesting task last ran — and
+	// the grant is task-targeted, but only when that processor is not
+	// doing useful work (unassigned or willing to yield): affinity never
+	// justifies preempting an active task, which is the consideration the
+	// paper notes limits affinity's influence on the Dynamic discipline.
+	// Remaining demand is served with the least valuable processor via
+	// rules D.1, D.2 and D.3, and the job's runtime picks a task.
+	for _, j := range s.Requesters() {
+		desired := 0
+		for s.Demand[j] > s.Alloc[j] {
+			granted := false
+			if d.affinity {
+				for desired < len(s.Desired[j]) {
+					dp := s.Desired[j][desired]
+					desired++
+					if dp.Proc >= 0 && idleAvailable(s, dp.Proc) && s.ProcJob[dp.Proc] != j {
+						assign(dp.Proc, j, dp.Task)
+						granted = true
+						break
+					}
+				}
+			}
+			if granted {
+				continue
+			}
+			p := d.takeProcessor(s, j, -1)
+			if p < 0 {
+				break
+			}
+			assign(p, j, alloc.NoTask)
+		}
+	}
+	return decs
+}
+
+// idleAvailable reports whether a processor may be taken without preempting
+// useful work: it is unassigned or marked willing to yield.
+func idleAvailable(s *alloc.State, p int) bool {
+	return s.ProcJob[p] == -1 || s.ProcYield[p]
+}
+
+// takeProcessor selects the least valuable available processor for job j,
+// preferring the desired processor 'want' (-1 for none) when it is in the
+// supply. It returns -1 when no processor may be taken.
+func (d *dynamicCore) takeProcessor(s *alloc.State, j, want int) int {
+	pick := func(supply []int) int {
+		if len(supply) == 0 {
+			return -1
+		}
+		for _, p := range supply {
+			if p == want {
+				return p
+			}
+		}
+		d.cursor++
+		return supply[d.cursor%len(supply)]
+	}
+	// D.1: unassigned processors.
+	if p := pick(s.UnassignedProcs()); p >= 0 {
+		return p
+	}
+	// D.2: willing-to-yield processors of other jobs.
+	var yield []int
+	for _, p := range s.YieldingProcs() {
+		if s.ProcJob[p] != j {
+			yield = append(yield, p)
+		}
+	}
+	if p := pick(yield); p >= 0 {
+		return p
+	}
+	// D.3: equitable-allocation preemption. A requester holding
+	// substantially more credit than the victim — accrued by using few
+	// processors earlier, e.g. through sequential phases — may spend it to
+	// acquire temporarily more than its fair share, down to a floor of
+	// half the victim's fair share: the McCann scheme's credit-spending
+	// behaviour. Without surplus credit, preemption stops once allocations
+	// are within one processor of each other.
+	if !d.priority {
+		return -1
+	}
+	victim := s.LargestAllocJob(j)
+	if victim < 0 {
+		return -1
+	}
+	switch {
+	case s.Credit[j] < s.Credit[victim]:
+		// Preempting from a higher-priority job would undo its
+		// legitimate credit spending and ping-pong processors.
+		return -1
+	case s.Credit[j] > s.Credit[victim]+creditSpendThreshold:
+		floor := int(s.FairShare() / 2)
+		if floor < 1 {
+			floor = 1
+		}
+		if s.Alloc[victim] <= floor {
+			return -1
+		}
+	default:
+		if s.Alloc[victim] <= s.Alloc[j]+1 {
+			return -1
+		}
+	}
+	victimProcs := s.ProcsOf(victim)
+	if len(victimProcs) == 0 {
+		return -1
+	}
+	if p := pick(victimProcs); p >= 0 {
+		return p
+	}
+	return victimProcs[0]
+}
+
+// NewDynamic returns the basic Dynamic policy (McCann et al.): maximal
+// reallocation, no affinity consideration.
+func NewDynamic() alloc.Policy {
+	return &dynamicCore{name: "Dynamic", priority: true}
+}
+
+// NewDynAff returns Dynamic with affinity rules A.1 and A.2, subordinate to
+// the priority scheme.
+func NewDynAff() alloc.Policy {
+	return &dynamicCore{name: "Dyn-Aff", affinity: true, priority: true}
+}
+
+// NewDynAffNoPri returns the artificial variant that sacrifices the
+// priority scheme (and rule D.3's fairness preemption) to affinity. The
+// paper uses it only to bound the benefit affinity scheduling could
+// provide; it is not suggested for real systems.
+func NewDynAffNoPri() alloc.Policy {
+	return &dynamicCore{name: "Dyn-Aff-NoPri", affinity: true, priority: false}
+}
+
+// NewDynAffDelay returns Dyn-Aff with the default yield delay.
+func NewDynAffDelay() alloc.Policy {
+	return NewDynAffDelayD(DefaultYieldDelay)
+}
+
+// NewDynAffDelayD returns Dyn-Aff with a specific yield delay.
+func NewDynAffDelayD(delay simtime.Duration) alloc.Policy {
+	return &dynamicCore{name: "Dyn-Aff-Delay", affinity: true, priority: true, yieldDelay: delay}
+}
+
+// TimeShare is the quantum-driven round-robin baseline: on every quantum
+// expiry, processors are redistributed round-robin over the active jobs,
+// rotating the starting job so that tasks migrate — the behaviour whose
+// poor cache characteristics Section 8 contrasts with space sharing.
+//
+// The affinity variant models the discipline studied by Squillante &
+// Lazowska (whose conclusions the paper's Section 8.2 contrasts): the same
+// quantum-driven rotation, but when a job's turn returns to a processor,
+// the task that last ran there is resumed. Because the rotation is cyclic,
+// a job revisits the same processors and affinity pays off far more than
+// under space sharing — reproducing why time-sharing studies found affinity
+// so much more important.
+type TimeShare struct {
+	quantum  simtime.Duration
+	rotation int
+	affinity bool
+}
+
+// NewTimeShare returns a time-sharing baseline with the given quantum
+// (DefaultQuantum if q <= 0).
+func NewTimeShare(q simtime.Duration) *TimeShare {
+	if q <= 0 {
+		q = DefaultQuantum
+	}
+	return &TimeShare{quantum: q}
+}
+
+// NewTimeShareAff returns the affinity-aware time-sharing variant.
+func NewTimeShareAff(q simtime.Duration) *TimeShare {
+	t := NewTimeShare(q)
+	t.affinity = true
+	return t
+}
+
+// Name implements alloc.Policy.
+func (t *TimeShare) Name() string {
+	if t.affinity {
+		return "TimeShare-Aff"
+	}
+	return "TimeShare-RR"
+}
+
+// YieldDelay implements alloc.Policy.
+func (*TimeShare) YieldDelay() simtime.Duration { return 0 }
+
+// Quantum implements alloc.Policy.
+func (t *TimeShare) Quantum() simtime.Duration { return t.quantum }
+
+// PrefersAffinity implements alloc.Policy.
+func (t *TimeShare) PrefersAffinity() bool { return t.affinity }
+
+// Rebalance implements alloc.Policy. Arrivals, completions and quantum
+// expiries redistribute all processors round-robin; the rotation advances
+// each quantum so allocations (and therefore tasks) move between
+// processors.
+func (t *TimeShare) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
+	switch trig {
+	case alloc.TrigArrival, alloc.TrigCompletion, alloc.TrigQuantum:
+	default:
+		return nil
+	}
+	jobs := s.ActiveJobs()
+	if len(jobs) == 0 {
+		var decs []alloc.Decision
+		for p, j := range s.ProcJob {
+			if j != -1 {
+				decs = append(decs, alloc.Decision{Proc: p, Job: -1})
+				s.Assign(p, -1)
+			}
+		}
+		return decs
+	}
+	if trig == alloc.TrigQuantum {
+		t.rotation++
+	}
+	var decs []alloc.Decision
+	for p := 0; p < s.Procs; p++ {
+		j := jobs[(p+t.rotation)%len(jobs)]
+		if s.ProcJob[p] != j {
+			decs = append(decs, alloc.Decision{Proc: p, Job: j})
+			s.Assign(p, j)
+		}
+	}
+	return decs
+}
+
+// All returns one fresh instance of every policy the paper evaluates, in
+// presentation order.
+func All() []alloc.Policy {
+	return []alloc.Policy{
+		NewEquipartition(),
+		NewDynamic(),
+		NewDynAff(),
+		NewDynAffDelay(),
+		NewDynAffNoPri(),
+	}
+}
+
+// ByName constructs a policy by its paper name.
+func ByName(name string) (alloc.Policy, bool) {
+	switch name {
+	case "Equipartition", "equi":
+		return NewEquipartition(), true
+	case "Dynamic", "dynamic":
+		return NewDynamic(), true
+	case "Dyn-Aff", "dynaff":
+		return NewDynAff(), true
+	case "Dyn-Aff-NoPri", "dynaffnopri":
+		return NewDynAffNoPri(), true
+	case "Dyn-Aff-Delay", "dynaffdelay":
+		return NewDynAffDelay(), true
+	case "TimeShare-RR", "timeshare":
+		return NewTimeShare(0), true
+	case "TimeShare-Aff", "timeshareaff":
+		return NewTimeShareAff(0), true
+	}
+	return nil, false
+}

@@ -1,0 +1,169 @@
+// Package eventq implements the deterministic pending-event set at the heart
+// of the discrete-event simulator.
+//
+// Events are ordered primarily by simulated firing time and secondarily by a
+// monotonically increasing sequence number assigned at scheduling time, so
+// that two events scheduled for the same instant always fire in the order
+// they were scheduled. This tie-break makes whole-simulation runs bitwise
+// reproducible, which the experiment harness relies on for replication and
+// regression testing.
+//
+// Scheduled events may be cancelled in O(log n); cancellation is the normal
+// case in the scheduler (a processor's thread-completion event is cancelled
+// whenever the processor is preempted).
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Event is a pending simulator action.
+type Event struct {
+	// At is the simulated instant the event fires.
+	At simtime.Time
+	// Fire is invoked when the event reaches the head of the queue.
+	Fire func()
+
+	seq   uint64
+	index int // position in the heap, or -1 if not queued
+}
+
+// Cancelled reports whether the event has been removed from its queue
+// (either by Cancel or by firing).
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+// Queue is a time-ordered pending-event set. The zero value is ready to use.
+type Queue struct {
+	h       eventHeap
+	nextSeq uint64
+	now     simtime.Time
+	fired   uint64
+}
+
+// Now returns the current simulated time: the firing time of the most
+// recently popped event (or zero before any event has fired).
+func (q *Queue) Now() simtime.Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Fired returns the total number of events that have fired.
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// At schedules fire to run at the absolute simulated time at. Scheduling in
+// the past (before Now) panics: it always indicates a simulator bug, and
+// silently reordering time would corrupt every downstream measurement.
+func (q *Queue) At(at simtime.Time, fire func()) *Event {
+	if at < q.now {
+		panic(fmt.Sprintf("eventq: scheduling at %v, before now %v", at, q.now))
+	}
+	if fire == nil {
+		panic("eventq: nil Fire function")
+	}
+	e := &Event{At: at, Fire: fire, seq: q.nextSeq}
+	q.nextSeq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// After schedules fire to run d after the current simulated time.
+func (q *Queue) After(d simtime.Duration, fire func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", d))
+	}
+	return q.At(q.now.Add(d), fire)
+}
+
+// Cancel removes e from the queue. Cancelling an event that already fired or
+// was already cancelled is a no-op, so callers can cancel unconditionally.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -1
+}
+
+// Step pops and fires the earliest pending event, advancing Now to its
+// firing time. It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	q.now = e.At
+	q.fired++
+	e.Fire()
+	return true
+}
+
+// Peek returns the firing time of the earliest pending event, or
+// simtime.Never when the queue is empty.
+func (q *Queue) Peek() simtime.Time {
+	if len(q.h) == 0 {
+		return simtime.Never
+	}
+	return q.h[0].At
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// would fire strictly after limit. It returns the number of events fired.
+func (q *Queue) RunUntil(limit simtime.Time) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].At <= limit {
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// Run fires events until the queue is empty, with a hard cap on the number
+// of events as a runaway-simulation backstop. It returns the number of
+// events fired and an error if the cap was hit.
+func (q *Queue) Run(maxEvents uint64) (uint64, error) {
+	var n uint64
+	for q.Step() {
+		n++
+		if n >= maxEvents {
+			return n, fmt.Errorf("eventq: event cap %d reached at t=%v (likely livelock)", maxEvents, q.now)
+		}
+	}
+	return n, nil
+}
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

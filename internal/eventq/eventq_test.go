@@ -1,0 +1,279 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	for q.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %v, want 30", q.Now())
+	}
+	if q.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", q.Fired())
+	}
+}
+
+func TestTieBreakIsSchedulingOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.At(100, func() { got = append(got, i) })
+	}
+	for q.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var q Queue
+	var at2 simtime.Time
+	q.At(5, func() {
+		q.After(7, func() { at2 = q.Now() })
+	})
+	for q.Step() {
+	}
+	if at2 != 12 {
+		t.Fatalf("After fired at %v, want 12", at2)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := false
+	e := q.At(10, func() { fired = true })
+	q.Cancel(e)
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	for q.Step() {
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel and nil cancel are no-ops.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var q Queue
+	var got []int
+	var es []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		es = append(es, q.At(simtime.Time(i), func() { got = append(got, i) }))
+	}
+	// Cancel the odd ones.
+	for i := 1; i < 20; i += 2 {
+		q.Cancel(es[i])
+	}
+	for q.Step() {
+	}
+	if len(got) != 10 {
+		t.Fatalf("fired %d events, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != 2*i {
+			t.Fatalf("got %v, want evens in order", got)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestNilFirePanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for nil Fire")
+		}
+	}()
+	q.At(5, nil)
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	q.After(-1, func() {})
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != simtime.Never {
+		t.Errorf("Peek on empty = %v, want Never", q.Peek())
+	}
+	q.At(42, func() {})
+	if q.Peek() != 42 {
+		t.Errorf("Peek = %v, want 42", q.Peek())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []simtime.Time
+	for _, at := range []simtime.Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func() { got = append(got, at) })
+	}
+	n := q.RunUntil(15)
+	if n != 3 {
+		t.Fatalf("RunUntil fired %d, want 3", n)
+	}
+	if q.Len() != 1 || q.Peek() != 20 {
+		t.Fatalf("remaining queue wrong: len=%d peek=%v", q.Len(), q.Peek())
+	}
+}
+
+func TestRunCap(t *testing.T) {
+	var q Queue
+	var reschedule func()
+	reschedule = func() { q.After(1, reschedule) }
+	q.After(1, reschedule)
+	n, err := q.Run(1000)
+	if err == nil {
+		t.Fatal("want livelock error")
+	}
+	if n != 1000 {
+		t.Fatalf("fired %d, want 1000", n)
+	}
+}
+
+func TestRunDrains(t *testing.T) {
+	var q Queue
+	count := 0
+	for i := 0; i < 50; i++ {
+		q.At(simtime.Time(i), func() { count++ })
+	}
+	n, err := q.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || count != 50 {
+		t.Fatalf("n=%d count=%d, want 50", n, count)
+	}
+}
+
+// Property: for random schedules (with random cancellations), surviving
+// events fire in nondecreasing time order and exactly the survivors fire.
+func TestQuickRandomScheduleOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		n := 50 + rng.Intn(100)
+		type rec struct {
+			at        simtime.Time
+			ev        *Event
+			cancelled bool
+		}
+		recs := make([]*rec, n)
+		var fired []simtime.Time
+		for i := 0; i < n; i++ {
+			r := &rec{at: simtime.Time(rng.Intn(1000))}
+			r.ev = q.At(r.at, func() { fired = append(fired, r.at) })
+			recs[i] = r
+		}
+		for _, r := range recs {
+			if rng.Intn(3) == 0 {
+				q.Cancel(r.ev)
+				r.cancelled = true
+			}
+		}
+		for q.Step() {
+		}
+		// Order check.
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		// Exactly the survivors fired, as a multiset.
+		var want []simtime.Time
+		for _, r := range recs {
+			if !r.cancelled {
+				want = append(want, r.at)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(want) != len(fired) {
+			return false
+		}
+		for i := range want {
+			if want[i] != fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: events scheduled at identical times from within a firing event
+// still respect global scheduling order.
+func TestQuickNestedScheduling(t *testing.T) {
+	f := func(k uint8) bool {
+		depth := int(k%8) + 1
+		var q Queue
+		var got []int
+		var schedule func(level int)
+		schedule = func(level int) {
+			if level >= depth {
+				return
+			}
+			q.After(0, func() {
+				got = append(got, level)
+				schedule(level + 1)
+			})
+		}
+		schedule(0)
+		for q.Step() {
+		}
+		if len(got) != depth {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

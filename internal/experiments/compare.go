@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CompareResult holds the replication-averaged outcomes of scheduling the
+// given mixes under the given policies — the data behind Figures 5–6 and
+// Tables 3–4.
+type CompareResult struct {
+	Opts     Options
+	Mixes    []workload.Mix
+	Policies []string
+	// Summaries[mixNumber][policy][jobIndex]
+	Summaries map[int]map[string][]JobSummary
+}
+
+// ComparePolicies schedules every mix under every policy, replicated with
+// distinct seeds, and aggregates per-job metrics.
+func ComparePolicies(opts Options, mixes []workload.Mix, policies []string) (*CompareResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(mixes) == 0 || len(policies) == 0 {
+		return nil, fmt.Errorf("experiments: need at least one mix and one policy")
+	}
+	cr := &CompareResult{
+		Opts:      opts,
+		Mixes:     mixes,
+		Policies:  policies,
+		Summaries: make(map[int]map[string][]JobSummary),
+	}
+	for _, mix := range mixes {
+		if err := mix.Validate(); err != nil {
+			return nil, err
+		}
+		cr.Summaries[mix.Number] = make(map[string][]JobSummary)
+		for _, polName := range policies {
+			sums, err := runCell(opts, mix, polName)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: mix #%d policy %s: %w", mix.Number, polName, err)
+			}
+			cr.Summaries[mix.Number][polName] = sums
+		}
+	}
+	return cr, nil
+}
+
+// runCell runs one (mix, policy) cell with opts.Replications seeds.
+func runCell(opts Options, mix workload.Mix, polName string) ([]JobSummary, error) {
+	var sums []JobSummary
+	for rep := 0; rep < opts.Replications; rep++ {
+		seed := opts.Seed + uint64(rep)*0x1000
+		pol, ok := core.ByName(polName)
+		if !ok {
+			return nil, fmt.Errorf("unknown policy %q", polName)
+		}
+		res, err := sched.Run(sched.Config{
+			Machine: opts.Machine,
+			Policy:  pol,
+			Apps:    opts.apps(mix, seed),
+			Seed:    seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if sums == nil {
+			sums = make([]JobSummary, len(res.Jobs))
+			for i := range sums {
+				sums[i] = JobSummary{App: res.Jobs[i].App, RT: &stats.Sample{}}
+			}
+		}
+		for i, j := range res.Jobs {
+			s := &sums[i]
+			s.RT.Add(j.ResponseTime.SecondsF())
+			n := float64(opts.Replications)
+			s.WorkSec += j.Work.SecondsF() / n
+			s.WasteSec += j.Waste.SecondsF() / n
+			s.MissSec += j.MissTime.SecondsF() / n
+			s.SwitchSec += j.SwitchTime.SecondsF() / n
+			s.AvgAlloc += j.AvgAlloc / n
+			s.Reallocations += float64(j.Reallocations) / n
+			s.PctAffinity += j.PctAffinity() / n
+			s.IntervalMs += j.ReallocInterval().Millis() / n
+		}
+	}
+	return sums, nil
+}
+
+// Relative returns each job's mean response time under policy divided by
+// its mean response time under baseline, for one mix.
+func (cr *CompareResult) Relative(mixNumber int, policy, baseline string) ([]float64, error) {
+	mix, ok := cr.Summaries[mixNumber]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no mix #%d", mixNumber)
+	}
+	ps, ok := mix[policy]
+	if !ok {
+		return nil, fmt.Errorf("experiments: mix #%d has no policy %q", mixNumber, policy)
+	}
+	bs, ok := mix[baseline]
+	if !ok {
+		return nil, fmt.Errorf("experiments: mix #%d has no baseline %q", mixNumber, baseline)
+	}
+	out := make([]float64, len(ps))
+	for i := range ps {
+		out[i] = stats.Ratio(ps[i].MeanRT(), bs[i].MeanRT())
+	}
+	return out, nil
+}
+
+// Figure5Report renders response times of the dynamic policies relative to
+// Equipartition for every job in every mix (the paper's Figure 5; with
+// Dyn-Aff-NoPri in the policy list it also covers Figure 6).
+func (cr *CompareResult) Figure5Report(policies []string) (report.Table, error) {
+	t := report.Table{
+		Title:   "Figure 5 — response times relative to Equipartition",
+		Headers: []string{"mix", "job"},
+	}
+	t.Headers = append(t.Headers, policies...)
+	for _, mix := range cr.Mixes {
+		rel := make(map[string][]float64)
+		for _, p := range policies {
+			r, err := cr.Relative(mix.Number, p, "Equipartition")
+			if err != nil {
+				return report.Table{}, err
+			}
+			rel[p] = r
+		}
+		jobs := cr.Summaries[mix.Number][policies[0]]
+		for i, js := range jobs {
+			row := []string{fmt.Sprintf("#%d", mix.Number), fmt.Sprintf("%s-%d", js.App, i)}
+			for _, p := range policies {
+				row = append(row, report.F(rel[p][i], 3))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Table3Report renders the affinity-influence table for one mix (the
+// paper's Table 3 uses mix #5): %affinity, #reallocations, reallocation
+// interval, and response time per job under each policy.
+func (cr *CompareResult) Table3Report(mixNumber int, policies []string) (report.Table, error) {
+	mix, ok := cr.Summaries[mixNumber]
+	if !ok {
+		return report.Table{}, fmt.Errorf("experiments: no mix #%d", mixNumber)
+	}
+	t := report.Table{
+		Title:   fmt.Sprintf("Table 3 — influence of affinity on scheduling (mix #%d)", mixNumber),
+		Headers: []string{"metric"},
+	}
+	for _, p := range policies {
+		sums, ok := mix[p]
+		if !ok {
+			return report.Table{}, fmt.Errorf("experiments: mix #%d has no policy %q", mixNumber, p)
+		}
+		for i, js := range sums {
+			t.Headers = append(t.Headers, fmt.Sprintf("%s %s-%d", p, js.App, i))
+		}
+	}
+	addRow := func(name string, get func(JobSummary) string) {
+		row := []string{name}
+		for _, p := range policies {
+			for _, js := range mix[p] {
+				row = append(row, get(js))
+			}
+		}
+		t.AddRow(row...)
+	}
+	addRow("%affinity", func(js JobSummary) string { return report.Pct(js.PctAffinity) })
+	addRow("#reallocations", func(js JobSummary) string { return report.F(js.Reallocations, 0) })
+	addRow("realloc interval (ms)", func(js JobSummary) string { return report.F(js.IntervalMs, 0) })
+	addRow("response time (s)", func(js JobSummary) string { return report.F(js.MeanRT(), 1) })
+	return t, nil
+}
+
+// Table4Report renders the average job response times of the homogeneous
+// mixes under two policies (the paper's Table 4: Dyn-Aff vs Dyn-Aff-NoPri
+// on mixes 1 and 4).
+func (cr *CompareResult) Table4Report(mixNumbers []int, policyA, policyB string) (report.Table, error) {
+	t := report.Table{
+		Title:   "Table 4 — average job response time, homogeneous workloads (s)",
+		Headers: []string{"workload", policyA, policyB},
+	}
+	for _, n := range mixNumbers {
+		mix, ok := cr.Summaries[n]
+		if !ok {
+			return report.Table{}, fmt.Errorf("experiments: no mix #%d", n)
+		}
+		mean := func(policy string) (float64, error) {
+			sums, ok := mix[policy]
+			if !ok {
+				return 0, fmt.Errorf("experiments: mix #%d has no policy %q", n, policy)
+			}
+			total := 0.0
+			for _, js := range sums {
+				total += js.MeanRT()
+			}
+			return total / float64(len(sums)), nil
+		}
+		a, err := mean(policyA)
+		if err != nil {
+			return report.Table{}, err
+		}
+		b, err := mean(policyB)
+		if err != nil {
+			return report.Table{}, err
+		}
+		var name string
+		for _, m := range cr.Mixes {
+			if m.Number == n {
+				name = m.String()
+			}
+		}
+		t.AddRow(name, report.F(a, 2), report.F(b, 2))
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// FutureSimPoint compares, at one speed×cache product, the analytic model's
+// predicted relative response time with the value obtained by actually
+// simulating the scaled machine.
+type FutureSimPoint struct {
+	Product float64
+	// SimRel is the simulated relative response time (policy mean RT /
+	// Equipartition mean RT) on the scaled machine.
+	SimRel map[string]float64
+}
+
+// FutureSimulated re-runs the scheduling simulation on scaled machines
+// (speed = cache = √product, the Figure 8-13 axis) — a validation the paper
+// could not perform, since its future machines did not exist. The paper's
+// analytic model assumes future applications grow into their caches (its
+// P^NA × √cache term); the simulated applications keep 1991 footprints, so
+// the simulation brackets the model from the optimistic side: its relative
+// response times should rise no faster than the model's.
+func FutureSimulated(opts Options, mix workload.Mix, policies []string, products []float64) ([]FutureSimPoint, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	var out []FutureSimPoint
+	for _, prod := range products {
+		if prod < 1 {
+			return nil, fmt.Errorf("experiments: product %v below 1", prod)
+		}
+		factor := math.Sqrt(prod)
+		cacheScale := int(factor + 0.5)
+		if cacheScale < 1 {
+			cacheScale = 1
+		}
+		scaled, err := opts.Machine.Scaled(factor, cacheScale)
+		if err != nil {
+			return nil, err
+		}
+		pt := FutureSimPoint{Product: prod, SimRel: make(map[string]float64)}
+		meanRT := func(polName string) (float64, error) {
+			var mean float64
+			for rep := 0; rep < opts.Replications; rep++ {
+				seed := opts.Seed + uint64(rep)*0x1000
+				pol, ok := core.ByName(polName)
+				if !ok {
+					return 0, fmt.Errorf("experiments: unknown policy %q", polName)
+				}
+				r, err := sched.Run(sched.Config{
+					Machine: scaled,
+					Policy:  pol,
+					Apps:    opts.apps(mix, seed),
+					Seed:    seed,
+				})
+				if err != nil {
+					return 0, err
+				}
+				mean += r.MeanResponse() / float64(opts.Replications)
+			}
+			return mean, nil
+		}
+		base, err := meanRT("Equipartition")
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policies {
+			rt, err := meanRT(pol)
+			if err != nil {
+				return nil, err
+			}
+			pt.SimRel[pol] = rt / base
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FutureSimTable renders the simulated-future comparison against the
+// analytic model's predictions for the same products.
+func FutureSimTable(points []FutureSimPoint, modelRel map[string][]float64, policies []string) report.Table {
+	t := report.Table{
+		Title:   "Future machines: simulated relative RT vs analytic model",
+		Headers: []string{"product"},
+	}
+	for _, p := range policies {
+		t.Headers = append(t.Headers, p+" (sim)", p+" (model)")
+	}
+	for i, pt := range points {
+		row := []string{report.F(pt.Product, 0)}
+		for _, p := range policies {
+			row = append(row, report.F(pt.SimRel[p], 3))
+			if ys, ok := modelRel[p]; ok && i < len(ys) {
+				row = append(row, report.F(ys[i], 3))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFutureSimulated(t *testing.T) {
+	opts := FastOptions()
+	opts.Replications = 1
+	mix, _ := workload.MixByNumber(5)
+	policies := []string{"Dynamic", "Dyn-Aff"}
+	products := []float64{1, 16, 64}
+	pts, err := FutureSimulated(opts, mix, policies, products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		for _, p := range policies {
+			rel := pt.SimRel[p]
+			if rel <= 0 || rel > 2 {
+				t.Errorf("product %v %s: simulated relative RT %v implausible", pt.Product, p, rel)
+			}
+		}
+	}
+	// At product 1 the simulation is the baseline machine: the dynamic
+	// policies beat Equipartition.
+	if pts[0].SimRel["Dynamic"] > 1.02 {
+		t.Errorf("baseline simulated relative RT %v > 1", pts[0].SimRel["Dynamic"])
+	}
+	// On much faster machines the dynamic policies must still not
+	// collapse: the paper's conclusion is that they remain at or below
+	// Equipartition far into the future, and the simulated applications
+	// (with fixed 1991 footprints) are the optimistic bracket of the
+	// model, so their relative RT stays below the model's growth.
+	if pts[2].SimRel["Dyn-Aff"] > 1.1 {
+		t.Errorf("simulated Dyn-Aff at product 64: relative RT %v", pts[2].SimRel["Dyn-Aff"])
+	}
+
+	modelRel := map[string][]float64{"Dynamic": {0.9, 0.95, 1.0}}
+	tab := FutureSimTable(pts, modelRel, policies)
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sim") || !strings.Contains(b.String(), "model") {
+		t.Error("table missing sim/model columns")
+	}
+}
+
+func TestFutureSimulatedErrors(t *testing.T) {
+	opts := FastOptions()
+	mix, _ := workload.MixByNumber(5)
+	if _, err := FutureSimulated(opts, mix, []string{"Dynamic"}, []float64{0.5}); err == nil {
+		t.Error("sub-unit product accepted")
+	}
+	if _, err := FutureSimulated(opts, mix, []string{"bogus"}, []float64{1}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if _, err := FutureSimulated(opts, workload.Mix{Number: 9}, []string{"Dynamic"}, []float64{1}); err == nil {
+		t.Error("empty mix accepted")
+	}
+}

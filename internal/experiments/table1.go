@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/measure"
+	"repro/internal/memtrace"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+// Table1 runs the Section-4 penalty measurement protocol over the three
+// applications and the paper's three rescheduling intervals, producing the
+// data behind the paper's Table 1.
+func Table1(opts Options) (measure.Table1, error) {
+	if err := opts.Validate(); err != nil {
+		return measure.Table1{}, err
+	}
+	mc := opts.Machine
+	mc.Processors = 1 // the paper's measurement uses a single processor
+	return measure.BuildTable1(mc, memtrace.Patterns(), measure.DefaultQs(), opts.MeasureBudget, opts.Seed)
+}
+
+// Table1Report renders the measured penalties in the paper's Table-1
+// layout: one block per Q; rows are measured applications; the first column
+// is P^NA and the rest are P^A against each intervening application.
+func Table1Report(t1 measure.Table1) []report.Table {
+	var out []report.Table
+	qs := append([]simtime.Duration(nil), t1.Qs...)
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, q := range qs {
+		t := report.Table{
+			Title:   "Table 1 — P^NA and P^A (µs per switch), Q = " + q.String(),
+			Headers: []string{"measured", "P^NA"},
+		}
+		for _, iv := range t1.Apps {
+			t.Headers = append(t.Headers, "P^A/"+iv)
+		}
+		for _, app := range t1.Apps {
+			pen := t1.Cells[q][app]
+			row := []string{app, report.F(pen.PNA.Micros(), 0)}
+			for _, iv := range t1.Apps {
+				row = append(row, report.F(pen.PA[iv].Micros(), 0))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// PenaltyFor returns (P^A, P^NA) in seconds for the given measured
+// application, averaged over the given intervening applications, at the
+// tabulated Q nearest to interval. It is the parameter-extraction step of
+// Section 7.3: the scheduling experiments report each job's observed
+// reallocation interval, and the penalties measured at the closest Q apply.
+func PenaltyFor(t1 measure.Table1, app string, intervening []string, interval simtime.Duration) (pa, pna float64) {
+	if len(t1.Qs) == 0 {
+		return 0, 0
+	}
+	best := t1.Qs[0]
+	for _, q := range t1.Qs[1:] {
+		if absDur(q-interval) < absDur(best-interval) {
+			best = q
+		}
+	}
+	pen, ok := t1.Cells[best][app]
+	if !ok {
+		return 0, 0
+	}
+	pna = pen.PNA.SecondsF()
+	if len(intervening) == 0 {
+		intervening = t1.Apps
+	}
+	n := 0
+	for _, iv := range intervening {
+		if v, ok := pen.PA[iv]; ok {
+			pa += v.SecondsF()
+			n++
+		}
+	}
+	if n > 0 {
+		pa /= float64(n)
+	}
+	return pa, pna
+}
+
+func absDur(d simtime.Duration) simtime.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

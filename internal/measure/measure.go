@@ -1,0 +1,281 @@
+// Package measure reproduces the paper's Section 4 experiment: quantifying
+// the per-context-switch cache penalties P^A (task resumes on a processor
+// for which it has affinity, after an intervening task ran there) and P^NA
+// (task resumes on a processor with no affinity, i.e. a cold cache).
+//
+// The experimental design follows the paper exactly. The measured program
+// runs on a single processor under a special allocator that reschedules it
+// every Q of its own execution time, taking one of three actions at each
+// switch point:
+//
+//   - Stationary: the program is immediately replaced; its response time
+//     RT_stationary is the baseline.
+//   - Migrating: the cache is flushed (the paper streams through memory),
+//     then the program is replaced, capturing the no-affinity penalty;
+//     response time RT_migrating.
+//   - Multiprogrammed: a task from another program runs on the processor
+//     for Q, then the original is replaced, capturing the penalty incurred
+//     despite affinity; response time RT_multiprog.
+//
+// Then P^NA = (RT_migrating − RT_stationary)/#switches and
+// P^A = (RT_multiprog − RT_stationary)/#switches.
+//
+// "Response time" here is the measured program's own accumulated time
+// (compute + its cache-miss stalls + its switch path costs), so the
+// intervening program's execution does not pollute the numerator — the
+// deltas isolate pure cache effects, exactly the quantities tabulated in
+// the paper's Table 1.
+package measure
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memtrace"
+	"repro/internal/simtime"
+)
+
+// Regime selects the action taken at each switch point.
+type Regime int
+
+// The three Section-4 regimes.
+const (
+	Stationary Regime = iota
+	Migrating
+	Multiprog
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case Stationary:
+		return "stationary"
+	case Migrating:
+		return "migrating"
+	case Multiprog:
+		return "multiprog"
+	}
+	return fmt.Sprintf("Regime(%d)", int(r))
+}
+
+// Options configures a measurement run.
+type Options struct {
+	// Q is the rescheduling interval.
+	Q simtime.Duration
+	// Budget is the amount of pure compute the measured program executes;
+	// the run ends when it is consumed.
+	Budget simtime.Duration
+	// Seed fixes all random walks in the run.
+	Seed uint64
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Q <= 0 {
+		return fmt.Errorf("measure: Q must be positive, got %v", o.Q)
+	}
+	if o.Budget < o.Q {
+		return fmt.Errorf("measure: budget %v shorter than one quantum %v", o.Budget, o.Q)
+	}
+	return nil
+}
+
+// RunResult reports one single-regime run.
+type RunResult struct {
+	Regime Regime
+	// ResponseTime is the measured program's accumulated own time.
+	ResponseTime simtime.Duration
+	// Switches is the number of rescheduling points that occurred.
+	Switches int
+	// Misses is the measured program's cache miss count.
+	Misses uint64
+	// Accesses is the measured program's reference count.
+	Accesses uint64
+}
+
+// ownerMeasured and ownerIntervening tag cache lines in the shared cache.
+const (
+	ownerMeasured    = 0
+	ownerIntervening = 1
+)
+
+// interveningBase keeps the intervening program's address space disjoint
+// from the measured program's (separate processes share nothing).
+const interveningBase = 1 << 40
+
+// Run performs one single-processor run of the measured pattern under the
+// given regime. For Multiprog, intervening supplies the program run between
+// successive dispatches of the measured one; it is ignored otherwise.
+func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Pattern, regime Regime, opts Options) (RunResult, error) {
+	if err := mc.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	c, err := cache.New(mc.Cache)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	gen := memtrace.NewGenerator(measured, 0, opts.Seed)
+	var inter *memtrace.Generator
+	if regime == Multiprog {
+		inter = memtrace.NewGenerator(intervening, interveningBase, opts.Seed^0x5bd1e995)
+	}
+
+	var (
+		own        simtime.Duration // measured program's accumulated time
+		nextSwitch = simtime.Duration(opts.Q)
+		switches   int
+		misses     uint64
+		accesses   uint64
+	)
+	for gen.Elapsed() < opts.Budget {
+		addr, think := gen.Next()
+		own += mc.Compute(think)
+		accesses++
+		if !c.Access(ownerMeasured, addr) {
+			misses++
+			own += mc.LineFill
+		}
+		if own >= nextSwitch {
+			switches++
+			own += mc.SwitchPath
+			switch regime {
+			case Stationary:
+				// Immediately replaced: no cache disturbance.
+			case Migrating:
+				c.Flush()
+			case Multiprog:
+				runIntervening(mc, c, inter, opts.Q)
+			}
+			nextSwitch = own + opts.Q
+		}
+	}
+	return RunResult{
+		Regime:       regime,
+		ResponseTime: own,
+		Switches:     switches,
+		Misses:       misses,
+		Accesses:     accesses,
+	}, nil
+}
+
+// runIntervening executes the intervening program on the same cache for q
+// of its own time. Its time does not count against the measured program.
+func runIntervening(mc machine.Config, c *cache.Cache, gen *memtrace.Generator, q simtime.Duration) {
+	var t simtime.Duration
+	for t < q {
+		addr, think := gen.Next()
+		t += mc.Compute(think)
+		if !c.Access(ownerIntervening, addr) {
+			t += mc.LineFill
+		}
+	}
+}
+
+// Penalties holds the derived per-switch cache penalties for one measured
+// application.
+type Penalties struct {
+	Measured string
+	Q        simtime.Duration
+	// PNA is the no-affinity penalty per switch.
+	PNA simtime.Duration
+	// PA maps intervening application name to the affinity penalty per
+	// switch when that application runs in between.
+	PA map[string]simtime.Duration
+	// Stationary, Migrating and MultiprogRT retain the underlying runs for
+	// reporting.
+	Stationary RunResult
+	Migrating  RunResult
+	Multi      map[string]RunResult
+}
+
+// MeasurePenalties runs the full Section-4 protocol for one measured
+// application against a set of intervening applications at one Q, and
+// derives P^NA and P^A.
+func MeasurePenalties(mc machine.Config, measured memtrace.Pattern, intervening []memtrace.Pattern, opts Options) (Penalties, error) {
+	stat, err := Run(mc, measured, memtrace.Pattern{}, Stationary, opts)
+	if err != nil {
+		return Penalties{}, err
+	}
+	mig, err := Run(mc, measured, memtrace.Pattern{}, Migrating, opts)
+	if err != nil {
+		return Penalties{}, err
+	}
+	p := Penalties{
+		Measured:   measured.Name,
+		Q:          opts.Q,
+		PNA:        perSwitch(mig.ResponseTime-stat.ResponseTime, mig.Switches),
+		PA:         make(map[string]simtime.Duration, len(intervening)),
+		Stationary: stat,
+		Migrating:  mig,
+		Multi:      make(map[string]RunResult, len(intervening)),
+	}
+	for _, iv := range intervening {
+		multi, err := Run(mc, measured, iv, Multiprog, opts)
+		if err != nil {
+			return Penalties{}, err
+		}
+		p.Multi[iv.Name] = multi
+		p.PA[iv.Name] = perSwitch(multi.ResponseTime-stat.ResponseTime, multi.Switches)
+	}
+	return p, nil
+}
+
+func perSwitch(delta simtime.Duration, switches int) simtime.Duration {
+	if switches <= 0 {
+		return 0
+	}
+	d := delta / simtime.Duration(switches)
+	if d < 0 {
+		// Sampling noise can push a tiny negative; clamp, a penalty is
+		// non-negative by definition.
+		return 0
+	}
+	return d
+}
+
+// Table1 reproduces the paper's Table 1: for every measured application,
+// every intervening application, and every Q, the penalties P^NA and P^A.
+type Table1 struct {
+	Qs   []simtime.Duration
+	Apps []string
+	// Cells[q][measured] holds the penalties for that combination.
+	Cells map[simtime.Duration]map[string]Penalties
+}
+
+// DefaultQs returns the paper's three rescheduling intervals: 25, 100 and
+// 400 ms.
+func DefaultQs() []simtime.Duration {
+	return []simtime.Duration{
+		25 * simtime.Millisecond,
+		100 * simtime.Millisecond,
+		400 * simtime.Millisecond,
+	}
+}
+
+// BuildTable1 runs the complete protocol over all application pairs and Qs.
+// budget is the per-run compute budget; seed fixes the random streams.
+func BuildTable1(mc machine.Config, patterns []memtrace.Pattern, qs []simtime.Duration, budget simtime.Duration, seed uint64) (Table1, error) {
+	t := Table1{
+		Qs:    qs,
+		Cells: make(map[simtime.Duration]map[string]Penalties),
+	}
+	for _, p := range patterns {
+		t.Apps = append(t.Apps, p.Name)
+	}
+	for _, q := range qs {
+		t.Cells[q] = make(map[string]Penalties)
+		for _, p := range patterns {
+			pen, err := MeasurePenalties(mc, p, patterns, Options{Q: q, Budget: budget, Seed: seed})
+			if err != nil {
+				return Table1{}, err
+			}
+			t.Cells[q][p.Name] = pen
+		}
+	}
+	return t, nil
+}

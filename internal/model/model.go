@@ -1,0 +1,204 @@
+// Package model implements the paper's analytic response-time model:
+// equations (1) and (2) of Figure 1, and the Figure 7 extension used in
+// Section 7 to extrapolate policy behaviour to future machines with faster
+// processors and larger caches.
+//
+// Equation (1):
+//
+//	RT = (work + waste + #reallocations × (reallocation-time + cache-penalty)) / average-allocation
+//
+// Equation (2):
+//
+//	cache-penalty = %affinity × P^A + %no-affinity × P^NA
+//
+// Figure 7 extension, with s = processor-speed and c = cache-size relative
+// to the baseline machine:
+//
+//	RT = ((work + waste)/s + #reallocations × (reallocation-time/s + penalty_future/√s)) / average-allocation
+//	penalty_future = %affinity × P^A / c  +  %no-affinity × P^NA × √c
+//
+// All parameters are measured: work/waste/#reallocations/%affinity/
+// average-allocation from the scheduling experiments (internal/sched) and
+// P^A/P^NA from the Section-4 harness (internal/measure); see
+// internal/experiments for the wiring.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the measured model parameters for one job under one policy.
+// Times are in seconds; Work and Waste are processor-seconds on the
+// baseline machine.
+type Params struct {
+	// Work is the useful processing (processor-seconds).
+	Work float64
+	// Waste is processor time held without work (processor-seconds).
+	Waste float64
+	// Reallocations is the number of processor reallocations.
+	Reallocations float64
+	// ReallocTime is the kernel path length of one reallocation (seconds).
+	ReallocTime float64
+	// PctAffinity is the fraction of reallocations that resumed a task on
+	// a processor for which it had affinity, in [0, 1].
+	PctAffinity float64
+	// PA and PNA are the per-reallocation cache penalties (seconds).
+	PA, PNA float64
+	// AvgAlloc is the average number of processors allocated.
+	AvgAlloc float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.Work < 0, p.Waste < 0, p.Reallocations < 0, p.ReallocTime < 0, p.PA < 0, p.PNA < 0:
+		return fmt.Errorf("model: negative parameter in %+v", p)
+	case p.PctAffinity < 0 || p.PctAffinity > 1:
+		return fmt.Errorf("model: %%affinity %v outside [0,1]", p.PctAffinity)
+	case p.AvgAlloc <= 0:
+		return fmt.Errorf("model: average allocation must be positive, got %v", p.AvgAlloc)
+	}
+	return nil
+}
+
+// CachePenalty evaluates equation (2): the expected cache penalty of one
+// reallocation, in seconds.
+func (p Params) CachePenalty() float64 {
+	return p.PctAffinity*p.PA + (1-p.PctAffinity)*p.PNA
+}
+
+// ResponseTime evaluates equation (1) for the baseline machine, in seconds.
+func (p Params) ResponseTime() float64 {
+	return (p.Work + p.Waste + p.Reallocations*(p.ReallocTime+p.CachePenalty())) / p.AvgAlloc
+}
+
+// Future describes a future machine relative to the baseline: processor
+// speed factor and cache size factor.
+type Future struct {
+	Speed     float64
+	CacheSize float64
+}
+
+// Validate checks the scaling factors.
+func (f Future) Validate() error {
+	if f.Speed <= 0 || f.CacheSize <= 0 {
+		return fmt.Errorf("model: future factors must be positive, got %+v", f)
+	}
+	return nil
+}
+
+// Product returns speed × cache-size, the x-axis of the paper's
+// Figures 8-13.
+func (f Future) Product() float64 { return f.Speed * f.CacheSize }
+
+// FutureCachePenalty evaluates the Figure-7 penalty term: larger caches
+// shrink the affinity penalty linearly (more context survives) but grow the
+// no-affinity penalty as √cache-size (more data worth reloading).
+func (p Params) FutureCachePenalty(f Future) float64 {
+	return p.PctAffinity*p.PA/f.CacheSize + (1-p.PctAffinity)*p.PNA*math.Sqrt(f.CacheSize)
+}
+
+// FutureResponseTime evaluates the Figure-7 model: computation scales with
+// processor speed, miss resolution with √speed.
+func (p Params) FutureResponseTime(f Future) float64 {
+	sqrtS := math.Sqrt(f.Speed)
+	return ((p.Work+p.Waste)/f.Speed +
+		p.Reallocations*(p.ReallocTime/f.Speed+p.FutureCachePenalty(f)/sqrtS)) / p.AvgAlloc
+}
+
+// Scenario bundles per-policy parameters for one job of one workload, so
+// policies can be compared against a baseline (the paper uses
+// Equipartition).
+type Scenario struct {
+	// Name identifies the workload/job ("wkload5 - grav", ...).
+	Name string
+	// Baseline is the reference policy name.
+	Baseline string
+	// Policies maps policy name to measured parameters.
+	Policies map[string]Params
+}
+
+// Validate checks the scenario.
+func (sc Scenario) Validate() error {
+	if len(sc.Policies) == 0 {
+		return fmt.Errorf("model: scenario %q has no policies", sc.Name)
+	}
+	if _, ok := sc.Policies[sc.Baseline]; !ok {
+		return fmt.Errorf("model: scenario %q lacks baseline %q", sc.Name, sc.Baseline)
+	}
+	for name, p := range sc.Policies {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("model: scenario %q policy %q: %w", sc.Name, name, err)
+		}
+	}
+	return nil
+}
+
+// RelativeRT returns policy's future response time divided by the
+// baseline's, at the given machine factors.
+func (sc Scenario) RelativeRT(policy string, f Future) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	p, ok := sc.Policies[policy]
+	if !ok {
+		return 0, fmt.Errorf("model: scenario %q has no policy %q", sc.Name, policy)
+	}
+	base := sc.Policies[sc.Baseline]
+	b := base.FutureResponseTime(f)
+	if b == 0 {
+		return math.NaN(), nil
+	}
+	return p.FutureResponseTime(f) / b, nil
+}
+
+// SweepProduct evaluates RelativeRT along a product axis, splitting each
+// product evenly between speed and cache (speed = cache = √product), as the
+// paper does when presenting Figures 8-13. It returns one value per
+// product.
+func (sc Scenario) SweepProduct(policy string, products []float64) ([]float64, error) {
+	out := make([]float64, 0, len(products))
+	for _, prod := range products {
+		if prod <= 0 {
+			return nil, fmt.Errorf("model: non-positive product %v", prod)
+		}
+		s := math.Sqrt(prod)
+		v, err := sc.RelativeRT(policy, Future{Speed: s, CacheSize: s})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Crossover returns the smallest product in the sweep at which the policy's
+// relative response time reaches or exceeds 1.0 (i.e. the dynamic policy
+// stops beating the baseline), or 0 if it never does.
+func (sc Scenario) Crossover(policy string, products []float64) (float64, error) {
+	rel, err := sc.SweepProduct(policy, products)
+	if err != nil {
+		return 0, err
+	}
+	for i, v := range rel {
+		if v >= 1.0 {
+			return products[i], nil
+		}
+	}
+	return 0, nil
+}
+
+// Products returns a logarithmic product axis 1, …, max with the given
+// number of points per factor-of-two, suitable for the Figures 8-13 x-axis.
+func Products(max float64, perDoubling int) []float64 {
+	if max < 1 || perDoubling < 1 {
+		return []float64{1}
+	}
+	var out []float64
+	step := math.Pow(2, 1/float64(perDoubling))
+	for v := 1.0; v <= max*1.0000001; v *= step {
+		out = append(out, v)
+	}
+	return out
+}

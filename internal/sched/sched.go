@@ -1,0 +1,919 @@
+// Package sched is the discrete-event simulator that executes
+// multiprogrammed workloads on the modelled multiprocessor under a
+// processor allocation policy.
+//
+// The engine plays three roles from the paper's testbed at once:
+//
+//   - the hardware: processors with per-processor caches (modelled by
+//     internal/footprint, calibrated against internal/cache) connected by a
+//     contended bus (internal/bus);
+//   - the operating system: context switches with the measured 750 µs path
+//     length, plus the task preemption/resumption machinery;
+//   - Minos and the jobs' user-level thread runtimes: jobs reflect their
+//     instantaneous demand, mark idle processors willing-to-yield (after
+//     the policy's yield delay), and the policy's decisions move
+//     processors between jobs.
+//
+// Every quantity in the paper's response-time model (Figure 1) is measured
+// per job: work, waste, number of reallocations, %affinity, cache penalty
+// time, and average allocation.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/bus"
+	"repro/internal/cachemodel"
+	"repro/internal/eventq"
+	"repro/internal/machine"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Machine is the hardware description.
+	Machine machine.Config
+	// Policy is the allocation discipline. Policy values carry per-run
+	// state and must be freshly constructed per run.
+	Policy alloc.Policy
+	// Apps are the jobs to run; all arrive at time zero unless Arrivals
+	// is set.
+	Apps []workload.App
+	// Arrivals optionally staggers job arrival times (len must equal
+	// len(Apps) when non-nil).
+	Arrivals []simtime.Time
+	// UserSwitch is the user-level thread dispatch cost (baseline machine
+	// units). Defaults to 50 µs.
+	UserSwitch simtime.Duration
+	// Seed drives the arbitrary choices of affinity-blind task dispatch
+	// (real systems resolve these by queue timing noise). Runs with the
+	// same seed are bitwise reproducible. Defaults to 1.
+	Seed uint64
+	// CacheModel selects the per-processor cache implementation: the fast
+	// analytic footprint model (default) or the exact trace-replaying
+	// reference model used for validation.
+	CacheModel cachemodel.Kind
+	// Trace, when non-nil, records every scheduler decision for Gantt
+	// rendering and debugging (see internal/trace).
+	Trace *trace.Log
+	// MaxEvents caps the run as a livelock backstop. Defaults to 50M.
+	MaxEvents uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.UserSwitch == 0 {
+		out.UserSwitch = 50 * simtime.Microsecond
+	}
+	if out.MaxEvents == 0 {
+		out.MaxEvents = 50_000_000
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sched: no policy")
+	}
+	if len(c.Apps) == 0 {
+		return fmt.Errorf("sched: no jobs")
+	}
+	for i, a := range c.Apps {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("sched: app %d: %w", i, err)
+		}
+	}
+	if c.Arrivals != nil && len(c.Arrivals) != len(c.Apps) {
+		return fmt.Errorf("sched: %d arrival times for %d apps", len(c.Arrivals), len(c.Apps))
+	}
+	if c.UserSwitch < 0 {
+		return fmt.Errorf("sched: negative user switch cost")
+	}
+	return nil
+}
+
+// JobMetrics reports one job's outcome, covering every term of the paper's
+// response-time model.
+type JobMetrics struct {
+	// Job and App identify the job.
+	Job int
+	App string
+	// Arrival and Completion bracket the job's residence.
+	Arrival    simtime.Time
+	Completion simtime.Time
+	// ResponseTime is Completion − Arrival.
+	ResponseTime simtime.Duration
+	// Work is the pure compute executed, in baseline-machine
+	// processor-time (divide by Machine.Speed for wall time).
+	Work simtime.Duration
+	// MissTime is wall processor-time stalled on cache misses.
+	MissTime simtime.Duration
+	// MissLines is the expected number of cache lines fetched.
+	MissLines float64
+	// SwitchTime is wall processor-time spent in kernel reallocation path
+	// plus user-level thread dispatch.
+	SwitchTime simtime.Duration
+	// Waste is wall processor-time the job held processors idle.
+	Waste simtime.Duration
+	// InvalLines is the expected number of cache lines lost to coherency
+	// invalidations (writes to job-shared data from other processors).
+	InvalLines float64
+	// Reallocations counts processor reallocation dispatches experienced.
+	Reallocations int
+	// AffinityHits counts reallocations where the task resumed on the
+	// processor it last ran on.
+	AffinityHits int
+	// AvgAlloc is the time-average number of processors held.
+	AvgAlloc float64
+}
+
+// PctAffinity returns AffinityHits/Reallocations (0 when none).
+func (m JobMetrics) PctAffinity() float64 {
+	if m.Reallocations == 0 {
+		return 0
+	}
+	return float64(m.AffinityHits) / float64(m.Reallocations)
+}
+
+// ReallocInterval returns the mean per-processor time between
+// reallocations, the quantity in row 3 of the paper's Table 3:
+// ResponseTime × AvgAlloc / Reallocations.
+func (m JobMetrics) ReallocInterval() simtime.Duration {
+	if m.Reallocations == 0 {
+		return 0
+	}
+	return simtime.Duration(float64(m.ResponseTime) * m.AvgAlloc / float64(m.Reallocations))
+}
+
+// Result reports a full simulation run.
+type Result struct {
+	Policy string
+	Jobs   []JobMetrics
+	// Makespan is the completion time of the last job.
+	Makespan simtime.Time
+	// Events is the number of simulator events fired.
+	Events uint64
+	// BusTransactions counts line fills across the run.
+	BusTransactions uint64
+	// Profile[k] is the total time exactly k processors were executing
+	// threads (the parallelism profile of the whole run, as in the
+	// paper's Figures 2–4 when run with a single job).
+	Profile []simtime.Duration
+}
+
+// MeanResponse returns the mean job response time in seconds.
+func (r Result) MeanResponse() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, j := range r.Jobs {
+		sum += j.ResponseTime.SecondsF()
+	}
+	return sum / float64(len(r.Jobs))
+}
+
+// taskState tracks where a kernel task is.
+type taskState int
+
+const (
+	taskIdle      taskState = iota // no thread attached, not on a processor
+	taskPreempted                  // thread attached, awaiting a processor
+	taskOnProc                     // dispatched on a processor
+)
+
+type taskRT struct {
+	ref   alloc.TaskRef
+	gid   int // footprint owner id, globally unique
+	state taskState
+	proc  int // current processor when onProc, else -1
+
+	thread    workload.ThreadID
+	hasThread bool
+
+	lastProc int // affinity history, P = 1
+	// dispatchCompute is the compute executed since the task last started
+	// rebuilding its footprint on its current processor (reset on
+	// reallocation dispatches).
+	dispatchCompute simtime.Duration
+	// residentAtDispatch is the footprint the task had on its processor
+	// at that point.
+	residentAtDispatch float64
+}
+
+type jobRT struct {
+	id      int
+	app     workload.App
+	job     *workload.Job
+	tasks   []*taskRT
+	arrived bool
+	arrival simtime.Time
+	done    bool
+	doneAt  simtime.Time
+
+	// Metrics accumulation.
+	work       simtime.Duration
+	missTime   simtime.Duration
+	missLines  float64
+	switchTime simtime.Duration
+	waste      simtime.Duration
+	reallocs   int
+	affinity   int
+
+	invalLines float64
+
+	allocInt        float64 // ∫ alloc dt, ns·processors
+	curAlloc        int
+	lastAllocChange simtime.Time
+
+	// rng drives arbitrary task selection for affinity-blind policies,
+	// modelling an unordered suspended-task queue: deterministic iteration
+	// would pair the same tasks with the same processors run after run,
+	// giving Dynamic an accidental %affinity far above the paper's
+	// observed chance level (Table 3: 21-31%).
+	rng *xrand.Source
+}
+
+type procRT struct {
+	id      int
+	job     int // -1 unassigned
+	task    *taskRT
+	running bool
+	idle    bool // assigned with no work; idleStart is valid
+	yield   bool
+	// bound, when valid, is the specific task an allocator decision
+	// directed at this processor (rules A.1/A.2); consumed at dispatch.
+	bound    alloc.TaskRef
+	lastTask alloc.TaskRef
+
+	// Current execution segment.
+	segEv       *eventq.Event
+	segStart    simtime.Time
+	segWall     simtime.Duration
+	segWork     simtime.Duration // baseline compute planned
+	segMisses   float64
+	segMissTime simtime.Duration
+
+	idleStart simtime.Time
+	yieldEv   *eventq.Event
+}
+
+type engine struct {
+	cfg   Config
+	mc    machine.Config
+	pol   alloc.Policy
+	q     eventq.Queue
+	bus   *bus.Bus
+	model cachemodel.Model
+	jobs  []*jobRT
+	procs []*procRT
+	st    *alloc.State
+
+	lastCredit  simtime.Time
+	credits     []float64
+	activeJobs  int
+	runningCnt  int
+	lastProfile simtime.Time
+	profile     []simtime.Duration
+	quantumEv   *eventq.Event
+}
+
+// Run executes the configured simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg = cfg.withDefaults()
+	model, err := cachemodel.New(cfg.CacheModel, cfg.Machine.Processors, cfg.Machine.Cache, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		mc:      cfg.Machine,
+		pol:     cfg.Policy,
+		bus:     bus.MustNew(cfg.Machine.LineFill, cfg.Machine.BusWindow),
+		model:   model,
+		st:      alloc.NewState(cfg.Machine.Processors, len(cfg.Apps)),
+		credits: make([]float64, len(cfg.Apps)),
+		profile: make([]simtime.Duration, cfg.Machine.Processors+1),
+	}
+	for p := 0; p < cfg.Machine.Processors; p++ {
+		e.procs = append(e.procs, &procRT{
+			id:       p,
+			job:      -1,
+			lastTask: alloc.NoTask,
+			bound:    alloc.NoTask,
+		})
+	}
+	for i, app := range cfg.Apps {
+		j, err := workload.NewJob(i, app)
+		if err != nil {
+			return Result{}, err
+		}
+		e.jobs = append(e.jobs, &jobRT{
+			id:  i,
+			app: app,
+			job: j,
+			rng: xrand.New(cfg.Seed, 0x100+uint64(i)),
+		})
+	}
+
+	// Schedule arrivals.
+	for i := range e.jobs {
+		at := simtime.Time(0)
+		if cfg.Arrivals != nil {
+			at = cfg.Arrivals[i]
+		}
+		i := i
+		e.q.At(at, func() { e.arrive(i) })
+	}
+	// Quantum ticks for quantum-driven policies.
+	if q := e.pol.Quantum(); q > 0 {
+		var tick func()
+		tick = func() {
+			if e.activeJobsRemaining() {
+				e.policyEvent(alloc.TrigQuantum, -1)
+				e.quantumEv = e.q.After(q, tick)
+			}
+		}
+		e.quantumEv = e.q.After(q, tick)
+	}
+
+	events, err := e.q.Run(cfg.MaxEvents)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, j := range e.jobs {
+		if !j.done {
+			return Result{}, fmt.Errorf("sched: deadlock — job %d (%s) never completed (demand=%d alloc=%d)",
+				j.id, j.app.Name, j.job.Demand(), j.curAlloc)
+		}
+	}
+	return e.result(events), nil
+}
+
+func (e *engine) activeJobsRemaining() bool { return e.activeJobs > 0 }
+
+func (e *engine) now() simtime.Time { return e.q.Now() }
+
+// record appends a trace event when tracing is enabled.
+func (e *engine) record(kind trace.Kind, proc, job, task int, realloc, affinity bool) {
+	e.cfg.Trace.Record(trace.Event{
+		At: e.now(), Kind: kind, Proc: proc, Job: job, Task: task,
+		Realloc: realloc, Affinity: affinity,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Metrics plumbing.
+
+func (e *engine) noteProfile() {
+	now := e.now()
+	e.profile[e.runningCnt] += now.Sub(e.lastProfile)
+	e.lastProfile = now
+}
+
+func (e *engine) setRunning(p *procRT, running bool) {
+	if p.running == running {
+		return
+	}
+	e.noteProfile()
+	p.running = running
+	if running {
+		e.runningCnt++
+	} else {
+		e.runningCnt--
+	}
+}
+
+func (e *engine) noteAlloc(j *jobRT, delta int) {
+	now := e.now()
+	j.allocInt += float64(j.curAlloc) * float64(now.Sub(j.lastAllocChange))
+	j.lastAllocChange = now
+	j.curAlloc += delta
+}
+
+// beginIdle puts an assigned processor into the idle-held state, starting
+// waste accrual and the yield-delay clock.
+func (e *engine) beginIdle(p *procRT) {
+	e.setRunning(p, false)
+	p.task = nil
+	p.idle = true
+	p.idleStart = e.now()
+	e.record(trace.Idle, p.id, p.job, -1, false, false)
+	delay := e.pol.YieldDelay()
+	if delay <= 0 {
+		p.yield = true
+		e.record(trace.Yield, p.id, p.job, -1, false, false)
+		e.policyEvent(alloc.TrigProcFree, p.id)
+		return
+	}
+	pid := p.id
+	p.yieldEv = e.q.After(delay, func() {
+		pp := e.procs[pid]
+		pp.yieldEv = nil
+		if pp.job >= 0 && !pp.running {
+			pp.yield = true
+			e.record(trace.Yield, pid, pp.job, -1, false, false)
+			e.policyEvent(alloc.TrigProcFree, pid)
+		}
+	})
+}
+
+// endIdle stops waste accrual, attributing the idle span to the owning job.
+func (e *engine) endIdle(p *procRT) {
+	if !p.idle || p.job < 0 {
+		return
+	}
+	p.idle = false
+	e.jobs[p.job].waste += e.now().Sub(p.idleStart)
+	if p.yieldEv != nil {
+		e.q.Cancel(p.yieldEv)
+		p.yieldEv = nil
+	}
+	p.yield = false
+}
+
+// ---------------------------------------------------------------------------
+// Job lifecycle.
+
+func (e *engine) arrive(id int) {
+	j := e.jobs[id]
+	j.arrived = true
+	j.arrival = e.now()
+	j.lastAllocChange = e.now()
+	e.activeJobs++
+	e.record(trace.JobArrive, -1, id, -1, false, false)
+	e.policyEvent(alloc.TrigArrival, id)
+}
+
+func (e *engine) completeJob(j *jobRT) {
+	j.done = true
+	j.doneAt = e.now()
+	e.record(trace.JobComplete, -1, j.id, -1, false, false)
+	e.noteAlloc(j, 0)
+	e.activeJobs--
+	// Release the job's processors.
+	for _, p := range e.procs {
+		if p.job == j.id {
+			e.releaseProc(p)
+		}
+	}
+	e.policyEvent(alloc.TrigCompletion, j.id)
+}
+
+// releaseProc returns a processor to the unassigned pool.
+func (e *engine) releaseProc(p *procRT) {
+	if p.job < 0 {
+		return
+	}
+	if p.running {
+		e.preempt(p)
+	}
+	e.endIdle(p)
+	e.record(trace.Release, p.id, p.job, -1, false, false)
+	e.noteAlloc(e.jobs[p.job], -1)
+	p.job = -1
+	p.task = nil
+	p.bound = alloc.NoTask
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and execution.
+
+// taskGID assigns globally unique footprint owner ids.
+func taskGID(job, task int) int { return job*1024 + task + 1 }
+
+// chooseTask selects which of job j's kernel tasks should run on processor
+// p, honoring the policy's affinity preference. It returns nil when the job
+// has no dispatchable work.
+func (e *engine) chooseTask(j *jobRT, p *procRT) *taskRT {
+	// A task the allocator targeted at this processor (rules A.1/A.2).
+	if p.bound.Valid() && p.bound.Job == j.id && p.bound.Task < len(j.tasks) {
+		t := j.tasks[p.bound.Task]
+		if t.state == taskPreempted || (t.state == taskIdle && j.job.ReadyCount() > 0) {
+			return t
+		}
+	}
+	if e.pol.PrefersAffinity() {
+		// Affinity policies keep per-task processor histories (P = 1) in
+		// the allocator; an untargeted grant still dispatches a task that
+		// last ran on this processor when one is available.
+		for _, t := range j.tasks {
+			if t.lastProc != p.id || t.state == taskOnProc {
+				continue
+			}
+			if t.state == taskPreempted || j.job.ReadyCount() > 0 {
+				return t
+			}
+		}
+	}
+	// Any preempted task (it holds an in-progress thread), picked
+	// arbitrarily from the suspended queue.
+	if t := j.pickArbitrary(taskPreempted); t != nil {
+		return t
+	}
+	// Any idle task, if there is a ready thread for it.
+	if j.job.ReadyCount() > 0 {
+		if t := j.pickArbitrary(taskIdle); t != nil {
+			return t
+		}
+		// Create a new kernel task (jobs start workers lazily, up to one
+		// per processor).
+		if len(j.tasks) < e.mc.Processors {
+			t := &taskRT{
+				ref:      alloc.TaskRef{Job: j.id, Task: len(j.tasks)},
+				gid:      taskGID(j.id, len(j.tasks)),
+				proc:     -1,
+				lastProc: -1,
+			}
+			j.tasks = append(j.tasks, t)
+			return t
+		}
+	}
+	return nil
+}
+
+// dispatch places a task of processor p's assigned job onto p and starts
+// (or resumes) a thread. If the job has no dispatchable work the processor
+// idles in place.
+func (e *engine) dispatch(p *procRT) {
+	j := e.jobs[p.job]
+	t := e.chooseTask(j, p)
+	if t == nil {
+		e.beginIdle(p)
+		return
+	}
+	if !t.hasThread {
+		tid, ok := j.job.Attach()
+		if !ok {
+			e.beginIdle(p)
+			return
+		}
+		t.thread = tid
+		t.hasThread = true
+	}
+
+	// Classify the dispatch. A reallocation occurred when the task is not
+	// simply continuing on the processor it occupied with nothing having
+	// run in between.
+	continuation := t.lastProc == p.id && p.lastTask == t.ref
+	var overhead simtime.Duration
+	if continuation {
+		overhead = e.mc.Compute(e.cfg.UserSwitch)
+	} else {
+		overhead = e.mc.SwitchPath
+		j.reallocs++
+		if t.lastProc == p.id {
+			j.affinity++
+		}
+		// The footprint rebuild restarts: coverage is measured from here,
+		// discounted by whatever survived on this processor.
+		t.dispatchCompute = 0
+		t.residentAtDispatch = e.model.Resident(p.id, t.gid)
+	}
+	j.switchTime += overhead
+
+	t.state = taskOnProc
+	t.proc = p.id
+	p.task = t
+	p.bound = alloc.NoTask
+	e.record(trace.Dispatch, p.id, j.id, t.ref.Task, !continuation, !continuation && t.lastProc == p.id)
+	e.endIdle(p)
+	e.startSegment(p, overhead)
+}
+
+// startSegment schedules execution of the task's current thread to
+// completion (unless preempted first).
+func (e *engine) startSegment(p *procRT, overhead simtime.Duration) {
+	t := p.task
+	j := e.jobs[p.job]
+	w := j.job.Remaining(t.thread)
+	c0 := t.dispatchCompute
+	misses := e.model.Plan(p.id, t.gid, j.app.Pattern, c0, w, t.residentAtDispatch)
+	missTime := e.bus.ServiceN(e.now(), int(misses+0.5))
+	wall := overhead + e.mc.Compute(w) + missTime
+
+	p.segStart = e.now()
+	p.segWall = wall
+	p.segWork = w
+	p.segMisses = misses
+	p.segMissTime = missTime
+	e.setRunning(p, true)
+	pid := p.id
+	p.segEv = e.q.After(wall, func() { e.segmentDone(pid) })
+}
+
+// segmentDone fires when a thread finishes on processor pid.
+func (e *engine) segmentDone(pid int) {
+	p := e.procs[pid]
+	t := p.task
+	j := e.jobs[p.job]
+
+	// Account the completed segment.
+	committed := e.model.Commit(p.id, t.gid, j.app.Pattern, t.dispatchCompute, p.segWork, t.residentAtDispatch)
+	e.invalidateShared(p, j, t, p.segWork)
+	t.dispatchCompute += p.segWork
+	j.work += p.segWork
+	j.missTime += p.segMissTime
+	j.missLines += committed
+	j.job.Progress(t.thread, p.segWork)
+	j.job.Complete(t.thread)
+	t.hasThread = false
+	p.lastTask = t.ref
+	t.lastProc = p.id
+	p.segEv = nil
+
+	if j.job.Done() {
+		t.state = taskIdle
+		t.proc = -1
+		e.setRunning(p, false)
+		e.completeJob(j)
+		return
+	}
+
+	// Continue this task with the next ready thread, if any.
+	if tid, ok := j.job.Attach(); ok {
+		t.thread = tid
+		t.hasThread = true
+		overhead := e.mc.Compute(e.cfg.UserSwitch)
+		j.switchTime += overhead
+		e.startSegment(p, overhead)
+	} else {
+		t.state = taskIdle
+		t.proc = -1
+		e.beginIdle(p)
+	}
+
+	// New threads released by the completion may be runnable on the job's
+	// other idle processors, or may raise demand above allocation.
+	e.fillIdleProcs(j)
+	if j.job.Demand() > j.curAlloc {
+		e.policyEvent(alloc.TrigDemandUp, j.id)
+	}
+}
+
+// fillIdleProcs dispatches a job's runnable work onto processors it already
+// holds idle — a user-level action requiring no allocator involvement.
+func (e *engine) fillIdleProcs(j *jobRT) {
+	if j.done {
+		return
+	}
+	for _, p := range e.procs {
+		if p.job != j.id || p.running {
+			continue
+		}
+		if j.job.ReadyCount() == 0 && !e.hasPreempted(j) {
+			break
+		}
+		e.dispatch(p)
+	}
+}
+
+// invalidateShared models the coherency cost of the segment just committed:
+// the fraction of the task's touched lines that are written shared data
+// invalidates the job's sibling tasks' copies on other processors.
+func (e *engine) invalidateShared(p *procRT, j *jobRT, t *taskRT, w simtime.Duration) {
+	shared := j.app.SharedFrac
+	if shared <= 0 || w <= 0 {
+		return
+	}
+	c0 := t.dispatchCompute
+	touched := j.app.Pattern.TouchRate(c0+w) - j.app.Pattern.TouchRate(c0)
+	writes := touched * shared
+	if writes < 0.5 {
+		return
+	}
+	var siblings []int
+	for _, sib := range j.tasks {
+		if sib != t {
+			siblings = append(siblings, sib.gid)
+		}
+	}
+	if len(siblings) == 0 {
+		return
+	}
+	j.invalLines += e.model.InvalidateShared(p.id, siblings, writes)
+}
+
+// pickArbitrary returns a uniformly random task of j in the wanted state,
+// or nil if none exists.
+func (j *jobRT) pickArbitrary(want taskState) *taskRT {
+	var candidates []*taskRT
+	for _, t := range j.tasks {
+		if t.state == want {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[j.rng.Intn(len(candidates))]
+}
+
+func (e *engine) hasPreempted(j *jobRT) bool {
+	for _, t := range j.tasks {
+		if t.state == taskPreempted {
+			return true
+		}
+	}
+	return false
+}
+
+// preempt stops the processor's current segment, returning partial progress
+// to the task (which keeps its thread — that is what affinity is about).
+func (e *engine) preempt(p *procRT) {
+	t := p.task
+	j := e.jobs[p.job]
+	e.q.Cancel(p.segEv)
+	p.segEv = nil
+
+	elapsed := e.now().Sub(p.segStart)
+	var frac float64
+	if p.segWall > 0 {
+		frac = float64(elapsed) / float64(p.segWall)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	workDone := p.segWork.Scale(frac)
+	missTimeDone := p.segMissTime.Scale(frac)
+
+	missDone := e.model.Commit(p.id, t.gid, j.app.Pattern, t.dispatchCompute, workDone, t.residentAtDispatch)
+	e.invalidateShared(p, j, t, workDone)
+	t.dispatchCompute += workDone
+	j.work += workDone
+	j.missTime += missTimeDone
+	j.missLines += missDone
+	j.job.Progress(t.thread, workDone)
+
+	t.state = taskPreempted
+	t.proc = -1
+	t.lastProc = p.id
+	p.lastTask = t.ref
+	p.task = nil
+	e.record(trace.Preempt, p.id, j.id, t.ref.Task, false, false)
+	e.setRunning(p, false)
+}
+
+// ---------------------------------------------------------------------------
+// Policy interaction.
+
+// updateCredits integrates the McCann-style priority credits: a job gains
+// credit while holding fewer processors than its fair share and spends it
+// while holding more.
+func (e *engine) updateCredits() {
+	now := e.now()
+	dt := now.Sub(e.lastCredit).SecondsF()
+	e.lastCredit = now
+	if dt <= 0 || e.activeJobs == 0 {
+		return
+	}
+	fair := float64(e.mc.Processors) / float64(e.activeJobs)
+	for _, j := range e.jobs {
+		if j.arrived && !j.done {
+			e.credits[j.id] += (fair - float64(j.curAlloc)) * dt
+		}
+	}
+}
+
+// buildState publishes the allocator-visible snapshot.
+func (e *engine) buildState() {
+	s := e.st
+	for _, j := range e.jobs {
+		s.Active[j.id] = j.arrived && !j.done
+		s.Credit[j.id] = e.credits[j.id]
+		s.Demand[j.id] = j.job.Demand()
+		s.Alloc[j.id] = j.curAlloc
+		s.MaxPar[j.id] = j.app.MaxParallelism()
+		s.Desired[j.id] = s.Desired[j.id][:0]
+		if s.Active[j.id] {
+			// Desired processors, most critical tasks first: preempted
+			// tasks hold in-progress threads; idle tasks can take new
+			// work when the job has ready threads.
+			for _, t := range j.tasks {
+				if t.state == taskPreempted && t.lastProc >= 0 {
+					s.Desired[j.id] = append(s.Desired[j.id],
+						alloc.DesiredProc{Proc: t.lastProc, Task: t.ref})
+				}
+			}
+			if j.job.ReadyCount() > 0 {
+				for _, t := range j.tasks {
+					if t.state == taskIdle && t.lastProc >= 0 {
+						s.Desired[j.id] = append(s.Desired[j.id],
+							alloc.DesiredProc{Proc: t.lastProc, Task: t.ref})
+					}
+				}
+			}
+		}
+	}
+	for _, p := range e.procs {
+		s.ProcJob[p.id] = p.job
+		s.ProcWorking[p.id] = p.running
+		s.ProcYield[p.id] = p.yield && !p.running
+		s.ProcLastTask[p.id] = p.lastTask
+		s.LastTaskResumable[p.id] = false
+		if p.lastTask.Valid() {
+			lj := e.jobs[p.lastTask.Job]
+			if lj.arrived && !lj.done {
+				lt := lj.tasks[p.lastTask.Task]
+				if lt.state == taskPreempted ||
+					(lt.state == taskIdle && lj.job.ReadyCount() > 0) {
+					s.LastTaskResumable[p.id] = true
+				}
+			}
+		}
+	}
+}
+
+// policyEvent invokes the policy and applies its decisions.
+func (e *engine) policyEvent(trig alloc.Trigger, arg int) {
+	e.updateCredits()
+	e.buildState()
+	decs := e.pol.Rebalance(e.st, trig, arg)
+	e.applyDecisions(decs)
+}
+
+// applyDecisions moves processors between jobs as directed.
+func (e *engine) applyDecisions(decs []alloc.Decision) {
+	for _, d := range decs {
+		if d.Proc < 0 || d.Proc >= len(e.procs) {
+			panic(fmt.Sprintf("sched: policy %s decided for processor %d of %d",
+				e.pol.Name(), d.Proc, len(e.procs)))
+		}
+		p := e.procs[d.Proc]
+		if d.Job == p.job {
+			continue
+		}
+		if d.Job >= 0 {
+			nj := e.jobs[d.Job]
+			if !nj.arrived || nj.done {
+				continue // stale decision against a finished job
+			}
+		}
+		e.releaseProc(p)
+		if d.Job < 0 {
+			continue
+		}
+		p.job = d.Job
+		if d.Task != nil {
+			p.bound = *d.Task
+		} else {
+			p.bound = alloc.NoTask
+		}
+		e.noteAlloc(e.jobs[d.Job], +1)
+		e.dispatch(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Results.
+
+func (e *engine) result(events uint64) Result {
+	e.noteProfile()
+	res := Result{
+		Policy:          e.pol.Name(),
+		Events:          events,
+		BusTransactions: e.bus.Stats().Transactions,
+		Profile:         e.profile,
+	}
+	for _, j := range e.jobs {
+		rt := j.doneAt.Sub(j.arrival)
+		avgAlloc := 0.0
+		if rt > 0 {
+			avgAlloc = j.allocInt / float64(rt)
+		}
+		res.Jobs = append(res.Jobs, JobMetrics{
+			Job:           j.id,
+			App:           j.app.Name,
+			Arrival:       j.arrival,
+			Completion:    j.doneAt,
+			ResponseTime:  rt,
+			Work:          j.work,
+			MissTime:      j.missTime,
+			MissLines:     j.missLines,
+			SwitchTime:    j.switchTime,
+			Waste:         j.waste,
+			InvalLines:    j.invalLines,
+			Reallocations: j.reallocs,
+			AffinityHits:  j.affinity,
+			AvgAlloc:      avgAlloc,
+		})
+		if j.doneAt > res.Makespan {
+			res.Makespan = j.doneAt
+		}
+	}
+	return res
+}

@@ -1,0 +1,190 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: sample means, variances, and Student-t confidence intervals.
+//
+// The paper reports point estimates whose 95% confidence intervals are
+// within 1% of the mean, obtained by replication; Sample and the replication
+// helpers in this package reproduce that methodology.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations and yields summary statistics. The zero
+// value is an empty sample ready for use.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddAll appends a batch of observations.
+func (s *Sample) AddAll(xs ...float64) { s.xs = append(s.xs, xs...) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance, or NaN for fewer than two
+// observations.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or NaN for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between order statistics. It returns NaN for an empty
+// sample.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.xs...)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean,
+// using the Student t distribution. It returns NaN for fewer than two
+// observations.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	return tCritical95(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// CI95RelOK reports whether the 95% confidence interval half-width is within
+// frac of the mean — the paper's replication stopping rule with frac = 0.01.
+func (s *Sample) CI95RelOK(frac float64) bool {
+	m := s.Mean()
+	if m == 0 {
+		return false
+	}
+	ci := s.CI95()
+	return !math.IsNaN(ci) && ci/math.Abs(m) <= frac
+}
+
+// String summarizes the sample for logs.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g (95%%)", s.N(), s.Mean(), s.CI95())
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom. Values through 30 degrees are tabulated; larger
+// samples use the normal approximation 1.960.
+func tCritical95(df int) float64 {
+	table := [...]float64{
+		0,                                                             // df 0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2-10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// Replicate runs body with replication indices 0..n-1, collecting one
+// observation per replication, and returns the resulting sample.
+func Replicate(n int, body func(rep int) float64) *Sample {
+	var s Sample
+	for rep := 0; rep < n; rep++ {
+		s.Add(body(rep))
+	}
+	return &s
+}
+
+// ReplicateToCI runs body with increasing replication counts until the 95%
+// confidence interval half-width is within frac of the mean, or maxReps is
+// reached. minReps replications are always performed. It returns the sample.
+func ReplicateToCI(minReps, maxReps int, frac float64, body func(rep int) float64) *Sample {
+	var s Sample
+	for rep := 0; rep < maxReps; rep++ {
+		s.Add(body(rep))
+		if rep+1 >= minReps && s.CI95RelOK(frac) {
+			break
+		}
+	}
+	return &s
+}
+
+// Ratio returns a/b, or NaN when b is zero. It exists because nearly every
+// figure in the paper is a response-time ratio.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

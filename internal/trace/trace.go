@@ -1,0 +1,263 @@
+// Package trace records scheduler decisions during a simulation run and
+// renders them as a per-processor Gantt timeline — the visualization the
+// paper's authors would have used to debug Minos policies.
+//
+// Tracing is opt-in: a nil *Log costs a single branch per event.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Kind classifies a scheduler event.
+type Kind int
+
+// Scheduler event kinds.
+const (
+	// JobArrive: a job entered the system (Job set).
+	JobArrive Kind = iota
+	// JobComplete: a job left the system (Job set).
+	JobComplete
+	// Dispatch: a task started running (Proc, Job, Task set; Realloc
+	// true when the dispatch followed a processor reallocation).
+	Dispatch
+	// Preempt: a running task was stopped (Proc, Job, Task set).
+	Preempt
+	// Idle: a processor went idle while still assigned (Proc, Job set).
+	Idle
+	// Yield: an idle processor was marked willing-to-yield (Proc, Job).
+	Yield
+	// Release: a processor returned to the unassigned pool (Proc, Job =
+	// previous owner).
+	Release
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case JobArrive:
+		return "arrive"
+	case JobComplete:
+		return "complete"
+	case Dispatch:
+		return "dispatch"
+	case Preempt:
+		return "preempt"
+	case Idle:
+		return "idle"
+	case Yield:
+		return "yield"
+	case Release:
+		return "release"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded scheduler action.
+type Event struct {
+	At   simtime.Time
+	Kind Kind
+	Proc int // -1 when not processor-specific
+	Job  int
+	Task int // -1 when not task-specific
+	// Realloc marks dispatches that followed a processor reallocation.
+	Realloc bool
+	// Affinity marks reallocation dispatches that landed on the task's
+	// previous processor.
+	Affinity bool
+}
+
+// Log accumulates events. The zero value is ready to use. A nil *Log
+// discards everything.
+type Log struct {
+	events []Event
+}
+
+// Record appends an event; safe on a nil receiver.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, e)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Counts summarizes events by kind.
+func (l *Log) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range l.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// jobGlyph maps a job index to a display rune: 'A'-'Z', then 'a'-'z'.
+func jobGlyph(job int) byte {
+	switch {
+	case job < 0:
+		return ' '
+	case job < 26:
+		return byte('A' + job)
+	case job < 52:
+		return byte('a' + job - 26)
+	}
+	return '#'
+}
+
+// Gantt renders the processor-allocation timeline between start and end as
+// one row per processor and width time buckets per row. Cell glyphs:
+// a job's letter when a task of that job is running, the lowercase dot '.'
+// when the processor is held idle by a job, and ' ' when unassigned.
+// Buckets containing a reallocation dispatch are marked with '|' overlay
+// when mark is true.
+func Gantt(events []Event, procs int, start, end simtime.Time, width int, mark bool) string {
+	if width <= 0 {
+		width = 80
+	}
+	if end <= start {
+		return "(empty trace window)\n"
+	}
+	span := float64(end.Sub(start))
+	bucketOf := func(at simtime.Time) int {
+		b := int(float64(at.Sub(start)) / span * float64(width))
+		if b < 0 {
+			b = 0
+		}
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	// Reconstruct per-processor state from the event stream.
+	type segState struct {
+		job     int
+		running bool
+	}
+	grid := make([][]byte, procs)
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(" ", width))
+	}
+	cur := make([]segState, procs)
+	for p := range cur {
+		cur[p] = segState{job: -1}
+	}
+	lastBucket := make([]int, procs)
+
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	paint := func(p, from, to int) {
+		st := cur[p]
+		glyph := byte(' ')
+		if st.job >= 0 {
+			if st.running {
+				glyph = jobGlyph(st.job)
+			} else {
+				glyph = '.'
+			}
+		}
+		for b := from; b <= to && b < width; b++ {
+			grid[p][b] = glyph
+		}
+	}
+	for _, e := range sorted {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		b := bucketOf(e.At)
+		paint(e.Proc, lastBucket[e.Proc], b)
+		lastBucket[e.Proc] = b
+		switch e.Kind {
+		case Dispatch:
+			cur[e.Proc] = segState{job: e.Job, running: true}
+			if mark && e.Realloc {
+				grid[e.Proc][b] = '|'
+				if b+1 <= width {
+					lastBucket[e.Proc] = b + 1
+				}
+			}
+		case Preempt, Idle, Yield:
+			cur[e.Proc] = segState{job: e.Job, running: false}
+		case Release:
+			cur[e.Proc] = segState{job: -1}
+		}
+	}
+	for p := 0; p < procs; p++ {
+		paint(p, lastBucket[p], width-1)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "processor allocation %v .. %v  (letters = running job, '.' = held idle, '|' = reallocation)\n",
+		start, end)
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "cpu%02d |%s|\n", p, string(grid[p]))
+	}
+	return b.String()
+}
+
+// WriteSummary prints per-kind event counts and per-job dispatch/realloc
+// statistics.
+func WriteSummary(w io.Writer, l *Log) error {
+	counts := l.Counts()
+	kinds := []Kind{JobArrive, JobComplete, Dispatch, Preempt, Idle, Yield, Release}
+	var b strings.Builder
+	b.WriteString("trace summary:\n")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-9s %6d\n", k, counts[k])
+	}
+	// Per-job reallocation dispatches and affinity hits.
+	type jobStat struct{ dispatches, reallocs, affinity int }
+	stats := map[int]*jobStat{}
+	var jobs []int
+	for _, e := range l.Events() {
+		if e.Kind != Dispatch {
+			continue
+		}
+		st, ok := stats[e.Job]
+		if !ok {
+			st = &jobStat{}
+			stats[e.Job] = st
+			jobs = append(jobs, e.Job)
+		}
+		st.dispatches++
+		if e.Realloc {
+			st.reallocs++
+			if e.Affinity {
+				st.affinity++
+			}
+		}
+	}
+	sort.Ints(jobs)
+	for _, j := range jobs {
+		st := stats[j]
+		pct := 0.0
+		if st.reallocs > 0 {
+			pct = 100 * float64(st.affinity) / float64(st.reallocs)
+		}
+		fmt.Fprintf(&b, "  job %c: %d dispatches, %d reallocations, %.0f%% affinity\n",
+			jobGlyph(j), st.dispatches, st.reallocs, pct)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

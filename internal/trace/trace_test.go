@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Kind: Dispatch})
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	var l Log
+	l.Record(Event{Kind: Dispatch, Proc: 0, Job: 0})
+	l.Record(Event{Kind: Dispatch, Proc: 1, Job: 1})
+	l.Record(Event{Kind: Preempt, Proc: 0, Job: 0})
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	c := l.Counts()
+	if c[Dispatch] != 2 || c[Preempt] != 1 {
+		t.Fatalf("Counts = %v", c)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		JobArrive: "arrive", JobComplete: "complete", Dispatch: "dispatch",
+		Preempt: "preempt", Idle: "idle", Yield: "yield", Release: "release",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestJobGlyph(t *testing.T) {
+	cases := map[int]byte{-1: ' ', 0: 'A', 25: 'Z', 26: 'a', 51: 'z', 52: '#'}
+	for job, want := range cases {
+		if got := jobGlyph(job); got != want {
+			t.Errorf("jobGlyph(%d) = %c, want %c", job, got, want)
+		}
+	}
+}
+
+func sec(s int64) simtime.Time { return simtime.Time(s) * simtime.Time(simtime.Second) }
+
+func TestGanttBasic(t *testing.T) {
+	events := []Event{
+		{At: sec(0), Kind: Dispatch, Proc: 0, Job: 0},
+		{At: sec(5), Kind: Preempt, Proc: 0, Job: 0},
+		{At: sec(5), Kind: Dispatch, Proc: 0, Job: 1, Realloc: true},
+		{At: sec(0), Kind: Dispatch, Proc: 1, Job: 1},
+		{At: sec(8), Kind: Idle, Proc: 1, Job: 1},
+	}
+	out := Gantt(events, 2, sec(0), sec(10), 20, false)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	cpu0, cpu1 := lines[1], lines[2]
+	if !strings.Contains(cpu0, "A") || !strings.Contains(cpu0, "B") {
+		t.Errorf("cpu0 row missing job transitions: %s", cpu0)
+	}
+	if !strings.Contains(cpu1, "B") || !strings.Contains(cpu1, ".") {
+		t.Errorf("cpu1 row missing idle marker: %s", cpu1)
+	}
+	// Ordering within cpu0: A's run precedes B's.
+	if strings.Index(cpu0, "A") > strings.LastIndex(cpu0, "B") {
+		t.Errorf("cpu0 timeline out of order: %s", cpu0)
+	}
+}
+
+func TestGanttReallocMarks(t *testing.T) {
+	events := []Event{
+		{At: sec(0), Kind: Dispatch, Proc: 0, Job: 0},
+		{At: sec(5), Kind: Dispatch, Proc: 0, Job: 1, Realloc: true},
+	}
+	out := Gantt(events, 1, sec(0), sec(10), 20, true)
+	if !strings.Contains(out, "|") {
+		t.Errorf("no reallocation mark:\n%s", out)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	if out := Gantt(nil, 2, sec(5), sec(5), 10, false); !strings.Contains(out, "empty") {
+		t.Error("degenerate window not flagged")
+	}
+	// Events outside [start,end) clamp instead of panicking.
+	events := []Event{
+		{At: sec(100), Kind: Dispatch, Proc: 0, Job: 0},
+		{At: sec(0), Kind: Dispatch, Proc: 5, Job: 0}, // proc out of range: skipped
+	}
+	out := Gantt(events, 1, sec(0), sec(10), 0, false) // width defaulted
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var l Log
+	l.Record(Event{Kind: JobArrive, Proc: -1, Job: 0})
+	l.Record(Event{Kind: Dispatch, Proc: 0, Job: 0, Task: 0, Realloc: true, Affinity: true})
+	l.Record(Event{Kind: Dispatch, Proc: 1, Job: 0, Task: 1, Realloc: true})
+	l.Record(Event{Kind: Dispatch, Proc: 0, Job: 0, Task: 0})
+	l.Record(Event{Kind: JobComplete, Proc: -1, Job: 0})
+	var b strings.Builder
+	if err := WriteSummary(&b, &l); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"dispatch", "3", "job A", "2 reallocations", "50% affinity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

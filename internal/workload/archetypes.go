@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"repro/internal/memtrace"
+	"repro/internal/simtime"
+	"repro/internal/xrand"
+)
+
+// This file provides additional application archetypes beyond the paper's
+// three programs, for building custom workloads (see examples/customapp and
+// the scheduler fuzz tests). Each returns a ready-to-run App with a
+// plausible reference pattern; callers may replace Pattern or SharedFrac.
+
+// ForkJoin builds the classic fork-join archetype: a root thread fans out
+// to width parallel workers that join into a sink. Parallelism is flat at
+// width between two sequential points.
+func ForkJoin(width int, rootWork, workerWork, joinWork simtime.Duration) App {
+	var b GraphBuilder
+	root := b.AddThread(rootWork)
+	sink := b.AddThread(joinWork)
+	for i := 0; i < width; i++ {
+		w := b.AddThread(workerWork)
+		b.AddDep(root, w)
+		b.AddDep(w, sink)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // static construction cannot fail
+	}
+	return App{
+		Name:  "FORKJOIN",
+		Graph: g,
+		Pattern: memtrace.Pattern{
+			Name: "FORKJOIN",
+			Gap:  5 * simtime.Microsecond,
+			Components: []memtrace.Component{
+				{Lines: 64, Period: simtime.Millisecond},
+				{Lines: 1200, Period: 60 * simtime.Millisecond},
+			},
+		},
+		SharedFrac: 0.02,
+	}
+}
+
+// Pipeline builds a two-stage map/shuffle/reduce pipeline: width map
+// threads, a narrow shuffle barrier, width reduce threads, and a sink.
+// Parallelism is bimodal with a sequential waist — a shape between MATRIX's
+// flat profile and GRAVITY's barrier phases.
+func Pipeline(width int, mapWork, reduceWork simtime.Duration) App {
+	var b GraphBuilder
+	shuffle := b.AddThread(30 * simtime.Millisecond)
+	sink := b.AddThread(30 * simtime.Millisecond)
+	for i := 0; i < width; i++ {
+		m := b.AddThread(mapWork)
+		b.AddDep(m, shuffle)
+		r := b.AddThread(reduceWork)
+		b.AddDep(shuffle, r)
+		b.AddDep(r, sink)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return App{
+		Name:  "PIPELINE",
+		Graph: g,
+		Pattern: memtrace.Pattern{
+			Name: "PIPELINE",
+			Gap:  5 * simtime.Microsecond,
+			Components: []memtrace.Component{
+				{Lines: 96, Period: simtime.Millisecond},
+				{Lines: 1400, Period: 40 * simtime.Millisecond},
+				{Lines: 1800, Period: 500 * simtime.Millisecond, Permuted: true},
+			},
+		},
+		SharedFrac: 0.03,
+	}
+}
+
+// Divide builds a divide-and-conquer archetype: a binary tree of split
+// threads fanning out to depth levels, leaf work at the bottom, and a
+// mirrored merge tree. Parallelism doubles per level and then halves —
+// a sharper version of MVA's grow-then-shrink profile.
+func Divide(depth int, splitWork, leafWork simtime.Duration, seed uint64) App {
+	rng := xrand.New(seed, 0xd1f)
+	var b GraphBuilder
+	// Build the split tree level by level; splits[i] is level i.
+	level := []ThreadID{b.AddThread(splitWork)}
+	for d := 1; d < depth; d++ {
+		var next []ThreadID
+		for _, parent := range level {
+			for c := 0; c < 2; c++ {
+				id := b.AddThread(splitWork)
+				b.AddDep(parent, id)
+				next = append(next, id)
+			}
+		}
+		level = next
+	}
+	// Leaves with jittered work.
+	var leaves []ThreadID
+	for _, parent := range level {
+		jitter := 0.75 + rng.Float64()/2
+		id := b.AddThread(leafWork.Scale(jitter))
+		b.AddDep(parent, id)
+		leaves = append(leaves, id)
+	}
+	// Merge tree back down to one.
+	for len(leaves) > 1 {
+		var next []ThreadID
+		for i := 0; i+1 < len(leaves); i += 2 {
+			id := b.AddThread(splitWork)
+			b.AddDep(leaves[i], id)
+			b.AddDep(leaves[i+1], id)
+			next = append(next, id)
+		}
+		if len(leaves)%2 == 1 {
+			next = append(next, leaves[len(leaves)-1])
+		}
+		leaves = next
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return App{
+		Name:  "DIVIDE",
+		Graph: g,
+		Pattern: memtrace.Pattern{
+			Name: "DIVIDE",
+			Gap:  5 * simtime.Microsecond,
+			Components: []memtrace.Component{
+				{Lines: 64, Period: simtime.Millisecond},
+				{Lines: 900, Period: 30 * simtime.Millisecond},
+				{Lines: 1500, Period: 300 * simtime.Millisecond},
+			},
+		},
+		SharedFrac: 0.04,
+	}
+}

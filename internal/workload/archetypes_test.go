@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestForkJoinArchetype(t *testing.T) {
+	app := ForkJoin(8, 100*simtime.Millisecond, 500*simtime.Millisecond, 50*simtime.Millisecond)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := app.Graph
+	if g.NumThreads() != 10 {
+		t.Errorf("threads = %d, want 10", g.NumThreads())
+	}
+	if g.MaxWidth() != 8 {
+		t.Errorf("MaxWidth = %d, want 8", g.MaxWidth())
+	}
+	want := 100*simtime.Millisecond + 500*simtime.Millisecond + 50*simtime.Millisecond
+	if g.CriticalPath() != want {
+		t.Errorf("CriticalPath = %v, want %v", g.CriticalPath(), want)
+	}
+}
+
+func TestPipelineArchetype(t *testing.T) {
+	app := Pipeline(16, 120*simtime.Millisecond, 200*simtime.Millisecond)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := app.Graph
+	// width maps + width reduces + shuffle + sink.
+	if g.NumThreads() != 34 {
+		t.Errorf("threads = %d, want 34", g.NumThreads())
+	}
+	if g.MaxWidth() != 16 {
+		t.Errorf("MaxWidth = %d, want 16", g.MaxWidth())
+	}
+	// Critical path: map + shuffle + reduce + sink.
+	want := 120*simtime.Millisecond + 30*simtime.Millisecond + 200*simtime.Millisecond + 30*simtime.Millisecond
+	if g.CriticalPath() != want {
+		t.Errorf("CriticalPath = %v, want %v", g.CriticalPath(), want)
+	}
+}
+
+func TestDivideArchetype(t *testing.T) {
+	app := Divide(4, 20*simtime.Millisecond, 200*simtime.Millisecond, 7)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := app.Graph
+	// Split tree: 1+2+4+8 = 15; 8 leaves; merge: 4+2+1 = 7. Total 30.
+	if g.NumThreads() != 30 {
+		t.Errorf("threads = %d, want 30", g.NumThreads())
+	}
+	if g.MaxWidth() != 8 {
+		t.Errorf("MaxWidth = %d, want 8 (the leaf level)", g.MaxWidth())
+	}
+	// Determinism per seed; variation across seeds.
+	a, b := Divide(3, simtime.Millisecond, simtime.Second, 1), Divide(3, simtime.Millisecond, simtime.Second, 1)
+	if a.Graph.TotalWork() != b.Graph.TotalWork() {
+		t.Error("same seed produced different work")
+	}
+	c := Divide(3, simtime.Millisecond, simtime.Second, 2)
+	if a.Graph.TotalWork() == c.Graph.TotalWork() {
+		t.Error("different seeds produced identical total work (possible but unlikely)")
+	}
+}

@@ -1,0 +1,169 @@
+// Package workload models the parallel programs the paper schedules: jobs
+// composed of user-level threads organized in a thread dependence graph
+// (the paper's Figures 2–4), executed by a smaller set of kernel-schedulable
+// tasks, plus the six multiprogrammed workload mixes of Table 2.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// ThreadID identifies a thread within one job's dependence graph.
+type ThreadID int
+
+// Thread is one node of a dependence graph: a unit of computation that
+// becomes runnable when all of its predecessors have completed.
+type Thread struct {
+	// Work is the thread's pure compute demand on the baseline machine.
+	Work simtime.Duration
+	// Succs are the threads that depend on this one.
+	Succs []ThreadID
+	// NPreds is the number of predecessor threads.
+	NPreds int
+}
+
+// Graph is an immutable thread dependence DAG. Build one with NewGraph and
+// share it across job instances.
+type Graph struct {
+	threads []Thread
+	roots   []ThreadID
+	// totalWork is the sum of all thread work.
+	totalWork simtime.Duration
+	// maxWidth is the maximum number of simultaneously runnable threads
+	// under greedy unbounded-processor execution.
+	maxWidth int
+}
+
+// GraphBuilder accumulates threads and edges for a Graph.
+type GraphBuilder struct {
+	threads []Thread
+	edges   [][2]ThreadID
+}
+
+// AddThread appends a thread with the given work and returns its ID.
+func (b *GraphBuilder) AddThread(work simtime.Duration) ThreadID {
+	if work <= 0 {
+		panic(fmt.Sprintf("workload: thread work must be positive, got %v", work))
+	}
+	b.threads = append(b.threads, Thread{Work: work})
+	return ThreadID(len(b.threads) - 1)
+}
+
+// AddDep records that 'to' cannot start before 'from' completes.
+func (b *GraphBuilder) AddDep(from, to ThreadID) {
+	b.edges = append(b.edges, [2]ThreadID{from, to})
+}
+
+// Build validates the DAG and computes its static properties.
+func (b *GraphBuilder) Build() (*Graph, error) {
+	n := len(b.threads)
+	if n == 0 {
+		return nil, fmt.Errorf("workload: graph has no threads")
+	}
+	g := &Graph{threads: make([]Thread, n)}
+	copy(g.threads, b.threads)
+	for _, e := range b.edges {
+		from, to := e[0], e[1]
+		if from < 0 || int(from) >= n || to < 0 || int(to) >= n {
+			return nil, fmt.Errorf("workload: edge %v out of range", e)
+		}
+		if from == to {
+			return nil, fmt.Errorf("workload: self-edge on thread %d", from)
+		}
+		g.threads[from].Succs = append(g.threads[from].Succs, to)
+		g.threads[to].NPreds++
+	}
+	for id := range g.threads {
+		if g.threads[id].NPreds == 0 {
+			g.roots = append(g.roots, ThreadID(id))
+		}
+		g.totalWork += g.threads[id].Work
+	}
+	if len(g.roots) == 0 {
+		return nil, fmt.Errorf("workload: graph has no roots (cyclic)")
+	}
+	width, acyclic := g.computeWidth()
+	if !acyclic {
+		return nil, fmt.Errorf("workload: graph contains a cycle")
+	}
+	g.maxWidth = width
+	return g, nil
+}
+
+// computeWidth performs a level-by-level traversal (Kahn's algorithm),
+// returning the maximum level width and whether the graph is acyclic.
+// Level width is the runnable-set size assuming level-synchronous
+// execution, which matches how the paper's figures present parallelism.
+func (g *Graph) computeWidth() (int, bool) {
+	preds := make([]int, len(g.threads))
+	for id := range g.threads {
+		preds[id] = g.threads[id].NPreds
+	}
+	frontier := append([]ThreadID(nil), g.roots...)
+	visited := 0
+	maxWidth := 0
+	for len(frontier) > 0 {
+		if len(frontier) > maxWidth {
+			maxWidth = len(frontier)
+		}
+		var next []ThreadID
+		for _, id := range frontier {
+			visited++
+			for _, s := range g.threads[id].Succs {
+				preds[s]--
+				if preds[s] == 0 {
+					next = append(next, s)
+				}
+			}
+		}
+		frontier = next
+	}
+	return maxWidth, visited == len(g.threads)
+}
+
+// NumThreads returns the thread count.
+func (g *Graph) NumThreads() int { return len(g.threads) }
+
+// Thread returns thread id's immutable description.
+func (g *Graph) Thread(id ThreadID) Thread { return g.threads[id] }
+
+// Roots returns the initially runnable threads.
+func (g *Graph) Roots() []ThreadID { return append([]ThreadID(nil), g.roots...) }
+
+// TotalWork returns the sum of thread compute demands.
+func (g *Graph) TotalWork() simtime.Duration { return g.totalWork }
+
+// MaxWidth returns the maximum level-synchronous parallelism.
+func (g *Graph) MaxWidth() int { return g.maxWidth }
+
+// CriticalPath returns the longest work-weighted path through the DAG: the
+// minimum possible elapsed time with unlimited processors.
+func (g *Graph) CriticalPath() simtime.Duration {
+	// Longest path via DFS with memoization; the graph is acyclic.
+	memo := make([]simtime.Duration, len(g.threads))
+	done := make([]bool, len(g.threads))
+	var longest func(id ThreadID) simtime.Duration
+	longest = func(id ThreadID) simtime.Duration {
+		if done[id] {
+			return memo[id]
+		}
+		var best simtime.Duration
+		for _, s := range g.threads[id].Succs {
+			if d := longest(s); d > best {
+				best = d
+			}
+		}
+		memo[id] = best + g.threads[id].Work
+		done[id] = true
+		return memo[id]
+	}
+	var best simtime.Duration
+	for _, r := range g.roots {
+		if d := longest(r); d > best {
+			best = d
+		}
+	}
+	return best
+}

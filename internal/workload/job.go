@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// ThreadState tracks one thread's lifecycle within a running job.
+type ThreadState int
+
+// Thread lifecycle states.
+const (
+	ThreadBlocked ThreadState = iota // predecessors outstanding
+	ThreadReady                      // runnable, not attached to a task
+	ThreadRunning                    // attached to a task (running or preempted with it)
+	ThreadDone
+)
+
+// Job is one executing instance of an App: the dependence graph plus the
+// mutable ready-set bookkeeping the scheduler consumes.
+type Job struct {
+	// ID is the job's index within its simulation run.
+	ID int
+	// App is the static program description.
+	App App
+
+	state     []ThreadState
+	preds     []int // outstanding predecessor counts
+	ready     []ThreadID
+	remaining []simtime.Duration // remaining compute per thread
+	attached  int                // threads in ThreadRunning
+	finished  int
+}
+
+// NewJob instantiates app as job id.
+func NewJob(id int, app App) (*Job, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	n := app.Graph.NumThreads()
+	j := &Job{
+		ID:        id,
+		App:       app,
+		state:     make([]ThreadState, n),
+		preds:     make([]int, n),
+		remaining: make([]simtime.Duration, n),
+	}
+	for t := 0; t < n; t++ {
+		th := app.Graph.Thread(ThreadID(t))
+		j.preds[t] = th.NPreds
+		j.remaining[t] = th.Work
+	}
+	for _, r := range app.Graph.Roots() {
+		j.state[r] = ThreadReady
+		j.ready = append(j.ready, r)
+	}
+	return j, nil
+}
+
+// MustNewJob is NewJob for known-good apps.
+func MustNewJob(id int, app App) *Job {
+	j, err := NewJob(id, app)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// ReadyCount returns the number of runnable, unattached threads.
+func (j *Job) ReadyCount() int { return len(j.ready) }
+
+// AttachedCount returns the number of threads attached to tasks.
+func (j *Job) AttachedCount() int { return j.attached }
+
+// Demand returns the job's instantaneous processor demand: threads already
+// attached to tasks plus runnable threads awaiting one. This is the value
+// the job "reflects to the allocator via shared memory" under the Dynamic
+// policies.
+func (j *Job) Demand() int { return j.attached + len(j.ready) }
+
+// Done reports whether every thread has completed.
+func (j *Job) Done() bool { return j.finished == len(j.state) }
+
+// ThreadStateOf returns thread id's current state.
+func (j *Job) ThreadStateOf(id ThreadID) ThreadState { return j.state[id] }
+
+// Remaining returns thread id's outstanding compute.
+func (j *Job) Remaining(id ThreadID) simtime.Duration { return j.remaining[id] }
+
+// Attach pops a ready thread and marks it attached to a task. It returns
+// false when no thread is ready.
+func (j *Job) Attach() (ThreadID, bool) {
+	if len(j.ready) == 0 {
+		return 0, false
+	}
+	id := j.ready[0]
+	j.ready = j.ready[1:]
+	j.state[id] = ThreadRunning
+	j.attached++
+	return id, true
+}
+
+// Progress records that the attached thread id executed d of compute. It
+// returns the remaining compute.
+func (j *Job) Progress(id ThreadID, d simtime.Duration) simtime.Duration {
+	if j.state[id] != ThreadRunning {
+		panic(fmt.Sprintf("workload: Progress on thread %d in state %v", id, j.state[id]))
+	}
+	j.remaining[id] -= d
+	if j.remaining[id] < 0 {
+		j.remaining[id] = 0
+	}
+	return j.remaining[id]
+}
+
+// Complete marks the attached thread id finished and returns the threads
+// that became ready as a result.
+func (j *Job) Complete(id ThreadID) []ThreadID {
+	if j.state[id] != ThreadRunning {
+		panic(fmt.Sprintf("workload: Complete on thread %d in state %v", id, j.state[id]))
+	}
+	j.state[id] = ThreadDone
+	j.attached--
+	j.finished++
+	var newly []ThreadID
+	for _, s := range j.App.Graph.Thread(id).Succs {
+		j.preds[s]--
+		if j.preds[s] == 0 {
+			j.state[s] = ThreadReady
+			j.ready = append(j.ready, s)
+			newly = append(newly, s)
+		}
+	}
+	return newly
+}
+
+// Detach returns an attached (but not completed) thread to the ready set,
+// used when a task abandons a thread permanently (not for preemption —
+// preempted tasks keep their thread, which is why affinity exists).
+func (j *Job) Detach(id ThreadID) {
+	if j.state[id] != ThreadRunning {
+		panic(fmt.Sprintf("workload: Detach on thread %d in state %v", id, j.state[id]))
+	}
+	j.state[id] = ThreadReady
+	j.attached--
+	j.ready = append(j.ready, id)
+}

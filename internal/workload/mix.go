@@ -1,0 +1,97 @@
+package workload
+
+import "fmt"
+
+// Mix is one multiprogrammed workload: the number of instances of each
+// application type, as in the paper's Table 2.
+type Mix struct {
+	// Number identifies the mix (1-6 for the paper's table).
+	Number int
+	// MVA, Matrix and Gravity are instance counts.
+	MVA, Matrix, Gravity int
+}
+
+// String renders the mix as in the paper ("#5: 1 MATRIX + 1 GRAVITY").
+func (m Mix) String() string {
+	s := fmt.Sprintf("#%d:", m.Number)
+	for _, part := range []struct {
+		n    int
+		name string
+	}{{m.MVA, "MVA"}, {m.Matrix, "MATRIX"}, {m.Gravity, "GRAVITY"}} {
+		if part.n > 0 {
+			s += fmt.Sprintf(" %d %s", part.n, part.name)
+		}
+	}
+	return s
+}
+
+// Jobs returns the number of jobs in the mix.
+func (m Mix) Jobs() int { return m.MVA + m.Matrix + m.Gravity }
+
+// Homogeneous reports whether the mix contains multiple instances of one
+// application type and nothing else — the mixes for which the paper's
+// Table 4 averages job response time.
+func (m Mix) Homogeneous() bool {
+	kinds := 0
+	for _, n := range []int{m.MVA, m.Matrix, m.Gravity} {
+		if n > 0 {
+			kinds++
+		}
+	}
+	return kinds == 1 && m.Jobs() > 1
+}
+
+// Apps instantiates the mix's applications in the paper's listing order
+// (MVA, MATRIX, GRAVITY). seed feeds the GRAVITY instances' thread-time
+// jitter; distinct instances get distinct derived seeds.
+func (m Mix) Apps(seed uint64) []App {
+	var out []App
+	for i := 0; i < m.MVA; i++ {
+		out = append(out, MVA())
+	}
+	for i := 0; i < m.Matrix; i++ {
+		out = append(out, Matrix())
+	}
+	for i := 0; i < m.Gravity; i++ {
+		out = append(out, Gravity(seed+uint64(i)*0x9e3779b9))
+	}
+	return out
+}
+
+// Validate checks the mix is non-empty with non-negative counts.
+func (m Mix) Validate() error {
+	if m.MVA < 0 || m.Matrix < 0 || m.Gravity < 0 {
+		return fmt.Errorf("workload: mix %d has negative counts", m.Number)
+	}
+	if m.Jobs() == 0 {
+		return fmt.Errorf("workload: mix %d is empty", m.Number)
+	}
+	return nil
+}
+
+// Mixes returns the paper's six workload mixes (Table 2):
+//
+//	        #1  #2  #3  #4  #5  #6
+//	MVA      2   1   1   0   0   1
+//	MATRIX   0   1   0   0   1   1
+//	GRAVITY  0   0   1   2   1   1
+func Mixes() []Mix {
+	return []Mix{
+		{Number: 1, MVA: 2},
+		{Number: 2, MVA: 1, Matrix: 1},
+		{Number: 3, MVA: 1, Gravity: 1},
+		{Number: 4, Gravity: 2},
+		{Number: 5, Matrix: 1, Gravity: 1},
+		{Number: 6, MVA: 1, Matrix: 1, Gravity: 1},
+	}
+}
+
+// MixByNumber returns the paper mix with the given number.
+func MixByNumber(n int) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Number == n {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: no mix #%d (valid: 1-6)", n)
+}

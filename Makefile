@@ -1,0 +1,39 @@
+# Repro of Vaswani & Zahorjan, SOSP 1991 — build/verify targets.
+#
+# `make ci` is the full gate: vet, build, race-enabled tests, and a
+# one-iteration benchmark smoke pass over every exhibit. ROADMAP.md's
+# tier-1 verify (`go build ./... && go test ./...`) is the `quick` target.
+
+GO ?= go
+
+.PHONY: all build vet test quick race bench-smoke bench-compare ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# ROADMAP.md tier-1 verify.
+quick: build test
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — proves the exhibit drivers still run,
+# without the minutes-long full sweep.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The worker-pool scaling benchmark (EXPERIMENTS.md "Campaign runner"):
+# the same campaign at 1, 4 and 8 workers; outputs are bitwise identical,
+# only the wall clock may differ.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkComparePolicies$$' -cpu 1,4,8 -benchtime 2x .
+
+ci: vet build race bench-smoke

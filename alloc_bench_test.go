@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// BenchmarkSchedRunAllocs measures the allocation profile of one
+// scheduling run (mix #5 at test scale) — the unit of work every campaign
+// cell repeats Replications times.
+func BenchmarkSchedRunAllocs(b *testing.B) {
+	opts := experiments.FastOptions()
+	mix5, _ := workload.MixByNumber(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol, _ := core.ByName("Dyn-Aff")
+		apps := mix5.Apps(opts.Seed)
+		_, err := sched.Run(sched.Config{
+			Machine: opts.Machine,
+			Policy:  pol,
+			Apps:    apps,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareCellAllocs measures one full ComparePolicies cell
+// (one mix, one policy, FastOptions replications), run sequentially.
+func BenchmarkCompareCellAllocs(b *testing.B) {
+	opts := experiments.FastOptions()
+	opts.Workers = 1
+	mix5, _ := workload.MixByNumber(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ComparePolicies(opts, []workload.Mix{mix5}, []string{"Dyn-Aff"})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComparePolicies runs the full test-scale comparison campaign
+// (6 mixes x 4 policies x 2 replications = 48 simulation cells) with
+// Workers = GOMAXPROCS, so `go test -bench=ComparePolicies -cpu=1,4,8`
+// sweeps the worker-pool width. The campaign's output is bitwise identical
+// at every width; only the wall clock changes.
+func BenchmarkComparePolicies(b *testing.B) {
+	opts := experiments.FastOptions()
+	policies := []string{"Equipartition", "Dynamic", "Dyn-Aff", "Dyn-Aff-Delay"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ComparePolicies(opts, workload.Mixes(), policies)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,6 +27,8 @@
 //	-maxproduct P largest speed-times-cache product to sweep (default 4096)
 //	-policy NAME  policy for the trace subcommand (default Dyn-Aff)
 //	-window SEC   trace window length in seconds (default 5, from t=0)
+//	-workers N    simulation cells run concurrently (0 = all CPUs, 1 = sequential);
+//	              results are identical for every worker count
 package main
 
 import (
@@ -79,6 +81,7 @@ func parse(args []string) (string, *cli, error) {
 	fs.Float64Var(&c.maxProduct, "maxproduct", 4096, "largest speed*cache product")
 	fs.StringVar(&c.policy, "policy", "Dyn-Aff", "policy for the trace subcommand")
 	fs.Float64Var(&c.window, "window", 5, "trace window length (seconds)")
+	workers := fs.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return "", nil, err
 	}
@@ -89,6 +92,7 @@ func parse(args []string) (string, *cli, error) {
 	c.opts.Seed = *seed
 	c.opts.Replications = *reps
 	c.opts.MeasureBudget = simtime.Seconds(*budget)
+	c.opts.Workers = *workers
 	if err := c.opts.Validate(); err != nil {
 		return "", nil, err
 	}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	futuremodel [-procs N] [-reps N] [-seed N] [-fast] [-maxproduct P] [-csv] [-simulate]
+//	futuremodel [-procs N] [-reps N] [-seed N] [-fast] [-maxproduct P] [-csv] [-simulate] [-workers N]
 //
 // -simulate additionally re-runs the scheduling simulation on the scaled
 // machines themselves and prints simulated vs model relative response
@@ -34,6 +34,7 @@ func main() {
 	maxProduct := flag.Float64("maxproduct", 4096, "largest speed*cache product")
 	csv := flag.Bool("csv", false, "emit sweep data as CSV instead of charts")
 	simulate := flag.Bool("simulate", false, "also simulate the scaled machines directly")
+	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -43,6 +44,7 @@ func main() {
 	opts.Machine.Processors = *procs
 	opts.Replications = *reps
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if err := run(opts, *maxProduct, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "futuremodel:", err)
 		os.Exit(1)

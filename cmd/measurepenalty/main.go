@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	measurepenalty [-budget SEC] [-seed N] [-csv] [-detail]
+//	measurepenalty [-budget SEC] [-seed N] [-csv] [-detail] [-workers N]
 //
 // -detail additionally prints the underlying run data (response times,
 // switch counts, miss counts) for each regime.
@@ -28,11 +28,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	detail := flag.Bool("detail", false, "print per-regime run details")
+	workers := flag.Int("workers", 0, "concurrent measurement cells (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.MeasureBudget = simtime.Seconds(*budget)
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if err := run(opts, *csv, *detail); err != nil {
 		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
 		os.Exit(1)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	policycompare [-procs N] [-reps N] [-seed N] [-mix N] [-fast] [-csv] [-timeshare]
+//	policycompare [-procs N] [-reps N] [-seed N] [-mix N] [-fast] [-csv] [-timeshare] [-workers N]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	fast := flag.Bool("fast", false, "scaled-down quick mode")
 	csv := flag.Bool("csv", false, "emit CSV")
 	timeshare := flag.Bool("timeshare", false, "include the time-sharing baseline")
+	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -36,6 +37,7 @@ func main() {
 	opts.Machine.Processors = *procs
 	opts.Replications = *reps
 	opts.Seed = *seed
+	opts.Workers = *workers
 	if err := run(opts, *mixNo, *csv, *timeshare); err != nil {
 		fmt.Fprintln(os.Stderr, "policycompare:", err)
 		os.Exit(1)

@@ -42,16 +42,22 @@ type Model interface {
 	// Plan estimates the misses incurred if task executed the compute
 	// interval [c0, c0+w) of its current dispatch on proc, where r0 was
 	// its residency when the dispatch began. Plan must not change state.
-	Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
+	// The pattern is passed by pointer so the per-event call converts to
+	// the footprint.Profile interface without heap-allocating a copy.
+	Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
 	// Commit records that task actually executed [c0, c0+w) on proc and
 	// returns the misses incurred. For a full segment (same arguments as
 	// the preceding Plan) the result equals the plan.
-	Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
+	Commit(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64
 	// InvalidateShared models coherency traffic: a task on fromProc wrote
 	// 'lines' job-shared lines, invalidating any copies the sibling tasks
 	// (by id) hold on OTHER processors. It returns the total lines
 	// invalidated.
 	InvalidateShared(fromProc int, siblings []int, lines float64) float64
+	// Reset empties every per-processor cache (cold start) while retaining
+	// allocated capacity, so one model instance can serve many simulation
+	// runs. A reset model is indistinguishable from a freshly built one.
+	Reset()
 	// Name identifies the model for reports.
 	Name() string
 }
@@ -81,18 +87,25 @@ func NewFootprint(nprocs, capacityLines int) (*Footprint, error) {
 // Name implements Model.
 func (f *Footprint) Name() string { return "footprint" }
 
+// Reset implements Model.
+func (f *Footprint) Reset() {
+	for _, fc := range f.procs {
+		fc.Reset()
+	}
+}
+
 // Resident implements Model.
 func (f *Footprint) Resident(proc, task int) float64 {
 	return f.procs[proc].Resident(task)
 }
 
 // Plan implements Model.
-func (f *Footprint) Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+func (f *Footprint) Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
 	return footprint.Segment(pat, c0, c0+w, r0)
 }
 
 // Commit implements Model.
-func (f *Footprint) Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+func (f *Footprint) Commit(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
 	return f.procs[proc].RunSegment(task, pat, c0, c0+w, r0)
 }
 
@@ -139,14 +152,23 @@ func NewExact(nprocs int, cfg cache.Config, seed uint64) (*Exact, error) {
 // Name implements Model.
 func (e *Exact) Name() string { return "exact" }
 
+// Reset implements Model: caches are flushed and every task's reference
+// stream restarts from its seed, exactly as on first use.
+func (e *Exact) Reset() {
+	for _, c := range e.procs {
+		c.Flush()
+	}
+	clear(e.gens)
+}
+
 // gen returns (creating on first use) task's reference stream. Tasks get
 // disjoint address spaces and decorrelated seeds.
-func (e *Exact) gen(task int, pat memtrace.Pattern) *memtrace.Generator {
+func (e *Exact) gen(task int, pat *memtrace.Pattern) *memtrace.Generator {
 	if g, ok := e.gens[task]; ok {
 		return g
 	}
 	base := uint64(task+1) << 32
-	g := memtrace.NewGenerator(pat, base, e.seed^uint64(task)*0x9e3779b97f4a7c15)
+	g := memtrace.NewGenerator(*pat, base, e.seed^uint64(task)*0x9e3779b97f4a7c15)
 	e.gens[task] = g
 	return g
 }
@@ -171,7 +193,7 @@ func replay(c *cache.Cache, g *memtrace.Generator, owner int, w simtime.Duration
 
 // Plan implements Model: it replays the prospective interval on cloned
 // cache and stream state.
-func (e *Exact) Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+func (e *Exact) Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
 	if w <= 0 {
 		return 0
 	}
@@ -182,7 +204,7 @@ func (e *Exact) Plan(proc, task int, pat memtrace.Pattern, c0, w simtime.Duratio
 
 // Commit implements Model: it replays the executed interval on the real
 // cache and stream.
-func (e *Exact) Commit(proc, task int, pat memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+func (e *Exact) Commit(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
 	if w <= 0 {
 		return 0
 	}

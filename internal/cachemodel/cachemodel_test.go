@@ -59,8 +59,8 @@ func testModelContract(t *testing.T, m Model) {
 	}
 	// Plan must not change state: two identical plans agree, and
 	// residency is untouched.
-	p1 := m.Plan(proc, task, pat, 0, w, 0)
-	p2 := m.Plan(proc, task, pat, 0, w, 0)
+	p1 := m.Plan(proc, task, &pat, 0, w, 0)
+	p2 := m.Plan(proc, task, &pat, 0, w, 0)
 	if p1 != p2 {
 		t.Fatalf("Plan is not repeatable: %v vs %v", p1, p2)
 	}
@@ -71,7 +71,7 @@ func testModelContract(t *testing.T, m Model) {
 		t.Fatalf("Plan changed residency to %v", got)
 	}
 	// Full-segment commit equals the plan and installs lines.
-	c1 := m.Commit(proc, task, pat, 0, w, 0)
+	c1 := m.Commit(proc, task, &pat, 0, w, 0)
 	if math.Abs(c1-p1) > 1e-9 {
 		t.Fatalf("Commit %v != Plan %v for identical interval", c1, p1)
 	}
@@ -79,15 +79,15 @@ func testModelContract(t *testing.T, m Model) {
 		t.Fatalf("residency after commit = %v", got)
 	}
 	// A second, warm interval misses less.
-	p3 := m.Plan(proc, task, pat, w, w, m.Resident(proc, task))
+	p3 := m.Plan(proc, task, &pat, w, w, m.Resident(proc, task))
 	if p3 >= p1 {
 		t.Fatalf("warm plan %v not below cold plan %v", p3, p1)
 	}
 	// Zero-length intervals are free.
-	if got := m.Plan(proc, task, pat, 0, 0, 0); got != 0 {
+	if got := m.Plan(proc, task, &pat, 0, 0, 0); got != 0 {
 		t.Fatalf("zero-length plan = %v", got)
 	}
-	if got := m.Commit(proc, task, pat, 0, 0, 0); got != 0 {
+	if got := m.Commit(proc, task, &pat, 0, 0, 0); got != 0 {
 		t.Fatalf("zero-length commit = %v", got)
 	}
 }
@@ -118,10 +118,10 @@ func TestExactIntervention(t *testing.T) {
 	warm := simtime.Second
 	q := 200 * simtime.Millisecond
 
-	m.Commit(proc, 1, mva, 0, warm, 0)
-	baseline := m.Plan(proc, 1, mva, warm, q, 0)
-	m.Commit(proc, 2, mat, 0, q, 0) // intervening task pollutes the cache
-	disturbed := m.Plan(proc, 1, mva, warm, q, 0)
+	m.Commit(proc, 1, &mva, 0, warm, 0)
+	baseline := m.Plan(proc, 1, &mva, warm, q, 0)
+	m.Commit(proc, 2, &mat, 0, q, 0) // intervening task pollutes the cache
+	disturbed := m.Plan(proc, 1, &mva, warm, q, 0)
 	if disturbed <= baseline {
 		t.Errorf("intervening task did not raise reload misses: %v vs %v", disturbed, baseline)
 	}
@@ -130,7 +130,7 @@ func TestExactIntervention(t *testing.T) {
 func TestExactProcessorsIndependent(t *testing.T) {
 	m, _ := NewExact(2, symCfg(), 3)
 	pat := memtrace.GravityPattern()
-	m.Commit(0, 1, pat, 0, 500*simtime.Millisecond, 0)
+	m.Commit(0, 1, &pat, 0, 500*simtime.Millisecond, 0)
 	if got := m.Resident(1, 1); got != 0 {
 		t.Errorf("running on proc 0 left %v lines on proc 1", got)
 	}
@@ -144,8 +144,8 @@ func TestExactDeterministicStreams(t *testing.T) {
 	b, _ := NewExact(1, symCfg(), 9)
 	pat := memtrace.MatrixPattern()
 	for i := 0; i < 5; i++ {
-		ca := a.Commit(0, 3, pat, 0, 100*simtime.Millisecond, 0)
-		cb := b.Commit(0, 3, pat, 0, 100*simtime.Millisecond, 0)
+		ca := a.Commit(0, 3, &pat, 0, 100*simtime.Millisecond, 0)
+		cb := b.Commit(0, 3, &pat, 0, 100*simtime.Millisecond, 0)
 		if ca != cb {
 			t.Fatalf("same-seed exact models diverged at segment %d", i)
 		}
@@ -159,8 +159,8 @@ func TestModelsAgreeOnColdSegment(t *testing.T) {
 	exm, _ := NewExact(1, symCfg(), 5)
 	for _, pat := range memtrace.Patterns() {
 		w := 300 * simtime.Millisecond
-		fp := fpm.Plan(0, 1, pat, 0, w, 0)
-		ex := exm.Plan(0, 1, pat, 0, w, 0)
+		fp := fpm.Plan(0, 1, &pat, 0, w, 0)
+		ex := exm.Plan(0, 1, &pat, 0, w, 0)
 		if ex == 0 {
 			t.Fatalf("%s: exact plan zero", pat.Name)
 		}
@@ -182,8 +182,8 @@ func TestInvalidateShared(t *testing.T) {
 			}
 			pat := memtrace.MVAPattern()
 			// Tasks 1 and 2 build footprints on procs 0 and 1.
-			m.Commit(0, 1, pat, 0, 500*simtime.Millisecond, 0)
-			m.Commit(1, 2, pat, 0, 500*simtime.Millisecond, 0)
+			m.Commit(0, 1, &pat, 0, 500*simtime.Millisecond, 0)
+			m.Commit(1, 2, &pat, 0, 500*simtime.Millisecond, 0)
 			r1, r2 := m.Resident(0, 1), m.Resident(1, 2)
 			// Task 1 (on proc 0) writes 100 shared lines: task 2's copies
 			// on proc 1 shrink; task 1's own lines do not.
@@ -202,5 +202,32 @@ func TestInvalidateShared(t *testing.T) {
 				t.Errorf("phantom invalidation = %v", got)
 			}
 		})
+	}
+}
+
+func TestModelResetEquivalentToFresh(t *testing.T) {
+	pat := memtrace.MVAPattern()
+	for _, kind := range []Kind{KindFootprint, KindExact} {
+		used, err := New(kind, 2, cache.SymmetryConfig(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dirty the model, then reset.
+		used.Commit(0, 1, &pat, 0, 50*simtime.Millisecond, 0)
+		used.Commit(1, 2, &pat, 0, 30*simtime.Millisecond, 0)
+		used.Reset()
+		fresh, err := New(kind, 2, cache.SymmetryConfig(), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []Model{used, fresh} {
+			m.Commit(0, 1, &pat, 0, 40*simtime.Millisecond, 0)
+		}
+		if got, want := used.Resident(0, 1), fresh.Resident(0, 1); got != want {
+			t.Errorf("%s: reset model residency %v, fresh %v", used.Name(), got, want)
+		}
+		if got := used.Resident(1, 2); got != 0 {
+			t.Errorf("%s: residency survived Reset: %v", used.Name(), got)
+		}
 	}
 }

@@ -27,8 +27,9 @@ type Event struct {
 	// Fire is invoked when the event reaches the head of the queue.
 	Fire func()
 
-	seq   uint64
-	index int // position in the heap, or -1 if not queued
+	seq    uint64
+	index  int  // position in the heap, or -1 if not queued
+	pooled bool // true while parked on the owning queue's free list
 }
 
 // Cancelled reports whether the event has been removed from its queue
@@ -41,6 +42,38 @@ type Queue struct {
 	nextSeq uint64
 	now     simtime.Time
 	fired   uint64
+	free    []*Event // recycled Event objects (see Free)
+}
+
+// Reset returns the queue to its zero state while retaining the heap's and
+// free list's allocated capacity, so one Queue can serve many simulation
+// runs (e.g. the replications of an experiment cell) without re-growing its
+// backing arrays. Any outstanding *Event pointers become invalid.
+func (q *Queue) Reset() {
+	for i, e := range q.h {
+		e.index = -1
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+	q.nextSeq = 0
+	q.now = 0
+	q.fired = 0
+}
+
+// Free returns a fired or cancelled event to the queue's internal pool so
+// a subsequent At/After reuses its allocation. Only the owner of the
+// *Event may free it, and must drop every reference at the same time:
+// after Free the object will be handed out again by a later At. Freeing
+// nil, a still-queued event, or an already-freed event is a no-op, so
+// callers can free unconditionally at the points where they nil their
+// reference.
+func (q *Queue) Free(e *Event) {
+	if e == nil || e.index >= 0 || e.pooled {
+		return
+	}
+	e.pooled = true
+	e.Fire = nil
+	q.free = append(q.free, e)
 }
 
 // Now returns the current simulated time: the firing time of the most
@@ -63,7 +96,17 @@ func (q *Queue) At(at simtime.Time, fire func()) *Event {
 	if fire == nil {
 		panic("eventq: nil Fire function")
 	}
-	e := &Event{At: at, Fire: fire, seq: q.nextSeq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.pooled = false
+		e.At, e.Fire = at, fire
+		e.seq = q.nextSeq
+	} else {
+		e = &Event{At: at, Fire: fire, seq: q.nextSeq}
+	}
 	q.nextSeq++
 	heap.Push(&q.h, e)
 	return e

@@ -277,3 +277,114 @@ func TestQuickNestedScheduling(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestResetReusesQueue(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.At(simtime.Time(i), func() { got = append(got, i) })
+	}
+	// Leave two events pending, then reset: they must never fire.
+	q.Step()
+	q.Step()
+	pending := q.At(simtime.Time(99), func() { t.Error("reset event fired") })
+	q.Reset()
+	if q.Len() != 0 || q.Now() != 0 || q.Fired() != 0 {
+		t.Fatalf("after Reset: len=%d now=%v fired=%d", q.Len(), q.Now(), q.Fired())
+	}
+	if !pending.Cancelled() {
+		t.Error("pending event not marked cancelled by Reset")
+	}
+	// The queue is fully reusable, with sequence numbering restarted so
+	// tie-breaks replay identically.
+	order := []int{}
+	q.At(simtime.Time(1), func() { order = append(order, 1) })
+	q.At(simtime.Time(1), func() { order = append(order, 2) })
+	for q.Step() {
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-Reset order = %v", order)
+	}
+	if len(got) != 2 {
+		t.Fatalf("pre-Reset events fired after reset: %v", got)
+	}
+}
+
+func TestFreeRecyclesEvents(t *testing.T) {
+	var q Queue
+	fired := 0
+	e1 := q.At(simtime.Time(1), func() { fired++ })
+	// Freeing a still-queued event is refused.
+	q.Free(e1)
+	if e1.Cancelled() {
+		t.Fatal("Free removed a queued event")
+	}
+	q.Step()
+	q.Free(e1)
+	q.Free(e1) // double-free is a no-op
+	if len(q.free) != 1 {
+		t.Fatalf("free list = %d, want 1", len(q.free))
+	}
+	e2 := q.At(simtime.Time(2), func() { fired++ })
+	if e2 != e1 {
+		t.Error("At did not reuse the freed event")
+	}
+	if len(q.free) != 0 {
+		t.Error("free list not drained")
+	}
+	q.Step()
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+	q.Free(e2)
+	// Cancelled events can be freed too; e3 reuses the freed object and
+	// returns it on cancellation.
+	e3 := q.At(simtime.Time(3), func() {})
+	if e3 != e2 {
+		t.Error("At did not reuse the re-freed event")
+	}
+	q.Cancel(e3)
+	q.Free(e3)
+	if len(q.free) != 1 {
+		t.Fatalf("free list = %d, want 1", len(q.free))
+	}
+	q.Free(nil) // nil-safe
+}
+
+func TestFreeDeterminismAcrossReuse(t *testing.T) {
+	// A run that recycles events must fire in the same order as one that
+	// does not: ordering depends only on (At, seq).
+	run := func(recycle bool) []int {
+		var q Queue
+		var got []int
+		var done []*Event
+		for i := 0; i < 20; i++ {
+			i := i
+			at := simtime.Time((i * 7) % 13)
+			e := q.At(at, func() { got = append(got, i) })
+			if recycle && i%3 == 0 {
+				q.Cancel(e)
+				q.Free(e)
+				done = append(done, e)
+				e2 := q.At(at, func() { got = append(got, i) })
+				if e2 != e {
+					// Reuse expected but not required for correctness.
+					_ = done
+				}
+			}
+		}
+		for q.Step() {
+		}
+		return got
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -27,8 +30,17 @@ type AppCharacter struct {
 }
 
 // Characterize runs each application alone on the experiment machine and
-// reports its parallelism characteristics (the paper's Figures 2–4).
+// reports its parallelism characteristics (the paper's Figures 2–4). It is
+// CharacterizeCtx without cancellation.
 func Characterize(opts Options) ([]AppCharacter, error) {
+	return CharacterizeCtx(context.Background(), opts)
+}
+
+// CharacterizeCtx is Characterize with cancellation, running the isolated
+// per-application simulations on opts.Workers workers. Each cell writes its
+// slot in the fixed application order, so output is identical for every
+// worker count.
+func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,16 +48,17 @@ func Characterize(opts Options) ([]AppCharacter, error) {
 	for _, m := range []workload.Mix{{Number: 0, MVA: 1}, {Number: 0, Matrix: 1}, {Number: 0, Gravity: 1}} {
 		mixApps = append(mixApps, opts.apps(m, opts.Seed)...)
 	}
-	var out []AppCharacter
-	for _, app := range mixApps {
-		res, err := sched.Run(sched.Config{
+	out := make([]AppCharacter, len(mixApps))
+	err := parallel.ForEach(ctx, opts.Workers, len(mixApps), func(ctx context.Context, i int) error {
+		app := mixApps[i]
+		res, err := runSim(sched.Config{
 			Machine: opts.Machine,
 			Policy:  core.NewEquipartition(),
 			Apps:    []workload.App{app},
 			Seed:    opts.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		j := res.Jobs[0]
 		elapsed := j.ResponseTime.SecondsF()
@@ -68,7 +81,11 @@ func Characterize(opts Options) ([]AppCharacter, error) {
 			}
 			ch.AvgDemand = weighted / total
 		}
-		out = append(out, ch)
+		out[i] = ch
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -22,54 +24,95 @@ type CompareResult struct {
 }
 
 // ComparePolicies schedules every mix under every policy, replicated with
-// distinct seeds, and aggregates per-job metrics.
+// distinct seeds, and aggregates per-job metrics. It is ComparePoliciesCtx
+// without cancellation.
 func ComparePolicies(opts Options, mixes []workload.Mix, policies []string) (*CompareResult, error) {
+	return ComparePoliciesCtx(context.Background(), opts, mixes, policies)
+}
+
+// ComparePoliciesCtx runs the comparison campaign, fanning the individual
+// (mix, policy, replication) simulation cells out over opts.Workers worker
+// goroutines. Each cell's seed is parallel.CellSeed(opts.Seed, mix number,
+// replication) — a pure function of the cell's grid coordinates — and
+// results are merged in grid order after all cells finish, so the output is
+// bitwise identical for every worker count. The seed deliberately excludes
+// the policy index: replication r observes the same workload under every
+// policy (common random numbers), which keeps relative response times
+// low-variance. On error the campaign is cancelled and the error of the
+// lowest-numbered failing cell is returned, matching what a sequential loop
+// would have reported. ctx cancellation aborts outstanding cells.
+func ComparePoliciesCtx(ctx context.Context, opts Options, mixes []workload.Mix, policies []string) (*CompareResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if len(mixes) == 0 || len(policies) == 0 {
 		return nil, fmt.Errorf("experiments: need at least one mix and one policy")
 	}
-	cr := &CompareResult{
-		Opts:      opts,
-		Mixes:     mixes,
-		Policies:  policies,
-		Summaries: make(map[int]map[string][]JobSummary),
-	}
+	// Fail fast on bad inputs before spinning up workers: every mix must be
+	// valid and every policy name constructible. Policies themselves are
+	// built per cell inside the workers — policy values carry per-run state
+	// and must never be shared across goroutines.
 	for _, mix := range mixes {
 		if err := mix.Validate(); err != nil {
 			return nil, err
 		}
-		cr.Summaries[mix.Number] = make(map[string][]JobSummary)
-		for _, polName := range policies {
-			sums, err := runCell(opts, mix, polName)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: mix #%d policy %s: %w", mix.Number, polName, err)
-			}
-			cr.Summaries[mix.Number][polName] = sums
+	}
+	for _, polName := range policies {
+		if _, ok := core.ByName(polName); !ok {
+			return nil, fmt.Errorf("experiments: unknown policy %q", polName)
 		}
 	}
-	return cr, nil
-}
 
-// runCell runs one (mix, policy) cell with opts.Replications seeds.
-func runCell(opts Options, mix workload.Mix, polName string) ([]JobSummary, error) {
-	var sums []JobSummary
-	for rep := 0; rep < opts.Replications; rep++ {
-		seed := opts.Seed + uint64(rep)*0x1000
+	// One slot per (mix, policy, replication) cell, merged in index order
+	// below. idx = (mi*len(policies) + pi)*R + rep.
+	R := opts.Replications
+	runs := make([]sched.Result, len(mixes)*len(policies)*R)
+	err := parallel.ForEach(ctx, opts.Workers, len(runs), func(ctx context.Context, idx int) error {
+		rep := idx % R
+		pi := idx / R % len(policies)
+		mi := idx / R / len(policies)
+		mix, polName := mixes[mi], policies[pi]
+		seed := parallel.CellSeed(opts.Seed, uint64(mix.Number), uint64(rep))
 		pol, ok := core.ByName(polName)
 		if !ok {
-			return nil, fmt.Errorf("unknown policy %q", polName)
+			return fmt.Errorf("experiments: unknown policy %q", polName)
 		}
-		res, err := sched.Run(sched.Config{
+		res, err := runSim(sched.Config{
 			Machine: opts.Machine,
 			Policy:  pol,
 			Apps:    opts.apps(mix, seed),
 			Seed:    seed,
 		})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("experiments: mix #%d policy %s: %w", mix.Number, polName, err)
 		}
+		runs[idx] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cr := &CompareResult{
+		Opts:      opts,
+		Mixes:     mixes,
+		Policies:  policies,
+		Summaries: make(map[int]map[string][]JobSummary),
+	}
+	for mi, mix := range mixes {
+		cr.Summaries[mix.Number] = make(map[string][]JobSummary)
+		for pi, polName := range policies {
+			base := (mi*len(policies) + pi) * R
+			cr.Summaries[mix.Number][polName] = summarize(runs[base:base+R], R)
+		}
+	}
+	return cr, nil
+}
+
+// summarize aggregates one cell's replications, in replication order.
+func summarize(runs []sched.Result, reps int) []JobSummary {
+	var sums []JobSummary
+	for _, res := range runs {
 		if sums == nil {
 			sums = make([]JobSummary, len(res.Jobs))
 			for i := range sums {
@@ -79,7 +122,7 @@ func runCell(opts Options, mix workload.Mix, polName string) ([]JobSummary, erro
 		for i, j := range res.Jobs {
 			s := &sums[i]
 			s.RT.Add(j.ResponseTime.SecondsF())
-			n := float64(opts.Replications)
+			n := float64(reps)
 			s.WorkSec += j.Work.SecondsF() / n
 			s.WasteSec += j.Waste.SecondsF() / n
 			s.MissSec += j.MissTime.SecondsF() / n
@@ -90,7 +133,7 @@ func runCell(opts Options, mix workload.Mix, polName string) ([]JobSummary, erro
 			s.IntervalMs += j.ReallocInterval().Millis() / n
 		}
 	}
-	return sums, nil
+	return sums
 }
 
 // Relative returns each job's mean response time under policy divided by

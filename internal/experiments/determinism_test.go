@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// The campaign runner's core guarantee: results are a pure function of the
+// options, never of the worker count or of goroutine completion order. Each
+// campaign below runs once sequentially and once on eight workers (on a grid
+// much larger than eight cells, so work genuinely interleaves) and the
+// outputs must match bitwise — reflect.DeepEqual over float64s tolerates no
+// ULP of drift.
+
+func determinismOpts() Options {
+	o := FastOptions()
+	o.MeasureBudget = 2 * simtime.Second
+	return o
+}
+
+func TestComparePoliciesDeterministicAcrossWorkers(t *testing.T) {
+	mixes := workload.Mixes()[:3]
+	policies := []string{"Equipartition", "Dyn-Aff"}
+	run := func(workers int) *CompareResult {
+		t.Helper()
+		o := determinismOpts()
+		o.Workers = workers
+		cr, err := ComparePoliciesCtx(context.Background(), o, mixes, policies)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return cr
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq.Summaries, par.Summaries) {
+		t.Fatal("ComparePolicies summaries differ between Workers=1 and Workers=8")
+	}
+}
+
+func TestFutureScenariosDeterministicAcrossWorkers(t *testing.T) {
+	mixes := workload.Mixes()[:2]
+	policies := []string{"Equipartition", "Dyn-Aff"}
+	run := func(workers int) map[ScenarioKey]interface{} {
+		t.Helper()
+		o := determinismOpts()
+		o.Workers = workers
+		cr, err := ComparePoliciesCtx(context.Background(), o, mixes, policies)
+		if err != nil {
+			t.Fatalf("workers=%d: compare: %v", workers, err)
+		}
+		t1, err := Table1Ctx(context.Background(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: table1: %v", workers, err)
+		}
+		scen, err := FutureScenarios(cr, t1)
+		if err != nil {
+			t.Fatalf("workers=%d: scenarios: %v", workers, err)
+		}
+		out := make(map[ScenarioKey]interface{}, len(scen))
+		for k, v := range scen {
+			out[k] = v
+		}
+		return out
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("FutureScenarios outputs differ between Workers=1 and Workers=8")
+	}
+}
+
+func TestFutureSimulatedDeterministicAcrossWorkers(t *testing.T) {
+	mix := workload.Mixes()[4]
+	run := func(workers int) []FutureSimPoint {
+		t.Helper()
+		o := determinismOpts()
+		o.Workers = workers
+		pts, err := FutureSimulatedCtx(context.Background(), o, mix,
+			[]string{"Dyn-Aff"}, []float64{1, 4})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return pts
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Fatal("FutureSimulated points differ between Workers=1 and Workers=8")
+	}
+}
+
+func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []AppCharacter {
+		t.Helper()
+		o := determinismOpts()
+		o.Workers = workers
+		chars, err := CharacterizeCtx(context.Background(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return chars
+	}
+	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
+		t.Fatal("Characterize results differ between Workers=1 and Workers=8")
+	}
+}
+
+func TestValidateRejectsNegativeWorkers(t *testing.T) {
+	o := FastOptions()
+	o.Workers = -1
+	if err := o.Validate(); err == nil {
+		t.Fatal("Workers=-1 accepted")
+	}
+}
+
+func TestComparePoliciesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := determinismOpts()
+	o.Workers = 4
+	if _, err := ComparePoliciesCtx(ctx, o, workload.Mixes()[:1], []string{"Equipartition"}); err == nil {
+		t.Fatal("cancelled campaign returned no error")
+	}
+}

@@ -42,6 +42,12 @@ type Options struct {
 	// AppScale shrinks the applications for fast test runs: 1 = paper
 	// scale, larger divisors shrink thread counts.
 	AppScale int
+	// Workers bounds the number of simulation cells run concurrently.
+	// Zero (the default) uses runtime.GOMAXPROCS(0); one forces a fully
+	// sequential campaign. Results are bitwise identical for every worker
+	// count: each cell's seed is derived from Seed and the cell's grid
+	// coordinates, never from execution order.
+	Workers int
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -81,6 +87,9 @@ func (o Options) Validate() error {
 	}
 	if o.AppScale < 1 {
 		return fmt.Errorf("experiments: AppScale must be >= 1")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0, got %d", o.Workers)
 	}
 	return nil
 }

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/measure"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/simtime"
 	"repro/internal/workload"
@@ -159,28 +160,19 @@ func FigureApp(mix workload.Mix) string {
 // response times against the speed×cache product (Figures 8–13).
 func FutureCharts(cr *CompareResult, scenarios map[ScenarioKey]model.Scenario, policies []string, maxProduct float64) ([]report.Chart, error) {
 	products := model.Products(maxProduct, 2)
-	var keys []ScenarioKey
-	for k := range scenarios {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Mix != keys[j].Mix {
-			return keys[i].Mix < keys[j].Mix
-		}
-		return keys[i].App < keys[j].App
-	})
-
-	var charts []report.Chart
-	figure := 8
-	for _, mix := range cr.Mixes {
-		app := FigureApp(mix)
-		key := ScenarioKey{Mix: mix.Number, App: app}
+	// Sweep each mix's scenario on the campaign's worker pool; slots keep
+	// the charts in mix order, and figure numbers are assigned afterwards
+	// so skipped mixes do not leave gaps.
+	slots := make([]*report.Chart, len(cr.Mixes))
+	err := parallel.ForEach(context.Background(), cr.Opts.Workers, len(cr.Mixes), func(ctx context.Context, mi int) error {
+		mix := cr.Mixes[mi]
+		key := ScenarioKey{Mix: mix.Number, App: FigureApp(mix)}
 		sc, ok := scenarios[key]
 		if !ok {
-			continue
+			return nil
 		}
-		ch := report.Chart{
-			Title:  fmt.Sprintf("Figure %d — relative response times, %s", figure, key),
+		ch := &report.Chart{
+			Title:  key.String(),
 			XLabel: "processor-speed x cache-size (log2)",
 			YLabel: "RT / RT(Equipartition)",
 			Xs:     products,
@@ -194,11 +186,24 @@ func FutureCharts(cr *CompareResult, scenarios map[ScenarioKey]model.Scenario, p
 			}
 			ys, err := sc.SweepProduct(pol, products)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			ch.Series = append(ch.Series, report.Series{Name: pol, Ys: ys})
 		}
-		charts = append(charts, ch)
+		slots[mi] = ch
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var charts []report.Chart
+	figure := 8
+	for _, ch := range slots {
+		if ch == nil {
+			continue
+		}
+		ch.Title = fmt.Sprintf("Figure %d — relative response times, %s", figure, ch.Title)
+		charts = append(charts, *ch)
 		figure++
 	}
 	return charts, nil

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -28,14 +31,26 @@ type FutureSimPoint struct {
 // the simulation brackets the model from the optimistic side: its relative
 // response times should rise no faster than the model's.
 func FutureSimulated(opts Options, mix workload.Mix, policies []string, products []float64) ([]FutureSimPoint, error) {
+	return FutureSimulatedCtx(context.Background(), opts, mix, policies, products)
+}
+
+// FutureSimulatedCtx is FutureSimulated with cancellation, fanning the
+// (product, policy, replication) cells out over opts.Workers workers. The
+// Equipartition baseline joins the policy axis as column zero. Replication
+// seeds are shared across products and policies — parallel.CellSeed of the
+// replication alone — so every point of every curve observes the same
+// workload draws, pairing the curves exactly as the sequential code did.
+func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, policies []string, products []float64) ([]FutureSimPoint, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	if err := mix.Validate(); err != nil {
 		return nil, err
 	}
-	var out []FutureSimPoint
-	for _, prod := range products {
+	// Resolve every scaled machine and policy name before the fan-out, so
+	// configuration errors surface immediately and deterministically.
+	scaled := make([]machine.Config, len(products))
+	for i, prod := range products {
 		if prod < 1 {
 			return nil, fmt.Errorf("experiments: product %v below 1", prod)
 		}
@@ -44,42 +59,59 @@ func FutureSimulated(opts Options, mix workload.Mix, policies []string, products
 		if cacheScale < 1 {
 			cacheScale = 1
 		}
-		scaled, err := opts.Machine.Scaled(factor, cacheScale)
+		mc, err := opts.Machine.Scaled(factor, cacheScale)
 		if err != nil {
 			return nil, err
+		}
+		scaled[i] = mc
+	}
+	cols := append([]string{"Equipartition"}, policies...)
+	for _, polName := range cols {
+		if _, ok := core.ByName(polName); !ok {
+			return nil, fmt.Errorf("experiments: unknown policy %q", polName)
+		}
+	}
+
+	// One slot per (product, column, replication) mean-response sample;
+	// idx = (prodIdx*len(cols) + col)*R + rep.
+	R := opts.Replications
+	rts := make([]float64, len(products)*len(cols)*R)
+	err := parallel.ForEach(ctx, opts.Workers, len(rts), func(ctx context.Context, idx int) error {
+		rep := idx % R
+		col := idx / R % len(cols)
+		prodIdx := idx / R / len(cols)
+		seed := parallel.CellSeed(opts.Seed, uint64(rep))
+		pol, _ := core.ByName(cols[col])
+		r, err := runSim(sched.Config{
+			Machine: scaled[prodIdx],
+			Policy:  pol,
+			Apps:    opts.apps(mix, seed),
+			Seed:    seed,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: product %v policy %s: %w", products[prodIdx], cols[col], err)
+		}
+		rts[idx] = r.MeanResponse()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []FutureSimPoint
+	for prodIdx, prod := range products {
+		mean := func(col int) float64 {
+			base := (prodIdx*len(cols) + col) * R
+			var m float64
+			for rep := 0; rep < R; rep++ {
+				m += rts[base+rep] / float64(R)
+			}
+			return m
 		}
 		pt := FutureSimPoint{Product: prod, SimRel: make(map[string]float64)}
-		meanRT := func(polName string) (float64, error) {
-			var mean float64
-			for rep := 0; rep < opts.Replications; rep++ {
-				seed := opts.Seed + uint64(rep)*0x1000
-				pol, ok := core.ByName(polName)
-				if !ok {
-					return 0, fmt.Errorf("experiments: unknown policy %q", polName)
-				}
-				r, err := sched.Run(sched.Config{
-					Machine: scaled,
-					Policy:  pol,
-					Apps:    opts.apps(mix, seed),
-					Seed:    seed,
-				})
-				if err != nil {
-					return 0, err
-				}
-				mean += r.MeanResponse() / float64(opts.Replications)
-			}
-			return mean, nil
-		}
-		base, err := meanRT("Equipartition")
-		if err != nil {
-			return nil, err
-		}
-		for _, pol := range policies {
-			rt, err := meanRT(pol)
-			if err != nil {
-				return nil, err
-			}
-			pt.SimRel[pol] = rt / base
+		base := mean(0)
+		for pi, pol := range policies {
+			pt.SimRel[pol] = mean(pi+1) / base
 		}
 		out = append(out, pt)
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -59,31 +61,44 @@ func RelatedWork(opts Options) (*RelatedWorkResult, error) {
 		return nil, err
 	}
 	policies := []string{"TimeShare-RR", "TimeShare-Aff", "Dynamic", "Dyn-Aff"}
+	// Fan the (policy, replication) cells out; idx = pi*R + rep.
+	R := opts.Replications
+	runs := make([]sched.Result, len(policies)*R)
+	err = parallel.ForEach(context.Background(), opts.Workers, len(runs), func(ctx context.Context, idx int) error {
+		rep := idx % R
+		polName := policies[idx/R]
+		seed := parallel.CellSeed(opts.Seed, uint64(rep))
+		pol, ok := core.ByName(polName)
+		if !ok {
+			return fmt.Errorf("experiments: unknown policy %q", polName)
+		}
+		r, err := runSim(sched.Config{
+			Machine: opts.Machine,
+			Policy:  pol,
+			Apps:    opts.apps(mix, seed),
+			Seed:    seed,
+		})
+		if err != nil {
+			return err
+		}
+		runs[idx] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &RelatedWorkResult{}
 	byName := make(map[string]*RelatedWorkRow, len(policies))
-	for _, polName := range policies {
+	for pi, polName := range policies {
 		var row RelatedWorkRow
 		row.Policy = polName
-		for rep := 0; rep < opts.Replications; rep++ {
-			seed := opts.Seed + uint64(rep)*0x1000
-			pol, ok := core.ByName(polName)
-			if !ok {
-				return nil, fmt.Errorf("experiments: unknown policy %q", polName)
-			}
-			r, err := sched.Run(sched.Config{
-				Machine: opts.Machine,
-				Policy:  pol,
-				Apps:    opts.apps(mix, seed),
-				Seed:    seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			n := float64(opts.Replications)
+		for rep := 0; rep < R; rep++ {
+			r := runs[pi*R+rep]
+			n := float64(R)
 			row.MeanRT += r.MeanResponse() / n
 			for _, j := range r.Jobs {
 				row.MissSec += j.MissTime.SecondsF() / n
-				row.Reallocations += j.Reallocations / opts.Replications
+				row.Reallocations += j.Reallocations / R
 				row.PctAffinity += j.PctAffinity() / (n * float64(len(r.Jobs)))
 			}
 		}
@@ -150,28 +165,43 @@ func MPLSweep(opts Options, maxJobs int, policies []string) ([]MPLPoint, error) 
 	if maxJobs < 1 {
 		return nil, fmt.Errorf("experiments: maxJobs must be >= 1")
 	}
+	// Fan the (level, policy, replication) cells out;
+	// idx = ((k-1)*len(policies) + pi)*R + rep.
+	R := opts.Replications
+	rts := make([]float64, maxJobs*len(policies)*R)
+	err := parallel.ForEach(context.Background(), opts.Workers, len(rts), func(ctx context.Context, idx int) error {
+		rep := idx % R
+		polName := policies[idx/R%len(policies)]
+		k := idx/R/len(policies) + 1
+		seed := parallel.CellSeed(opts.Seed, uint64(rep))
+		mix := workload.Mix{Number: 100 + k, Gravity: k}
+		pol, ok := core.ByName(polName)
+		if !ok {
+			return fmt.Errorf("experiments: unknown policy %q", polName)
+		}
+		r, err := runSim(sched.Config{
+			Machine: opts.Machine,
+			Policy:  pol,
+			Apps:    opts.apps(mix, seed),
+			Seed:    seed,
+		})
+		if err != nil {
+			return err
+		}
+		rts[idx] = r.MeanResponse()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []MPLPoint
 	for k := 1; k <= maxJobs; k++ {
 		pt := MPLPoint{Jobs: k, MeanRT: make(map[string]float64)}
-		for _, polName := range policies {
+		for pi, polName := range policies {
 			var mean float64
-			for rep := 0; rep < opts.Replications; rep++ {
-				seed := opts.Seed + uint64(rep)*0x1000
-				mix := workload.Mix{Number: 100 + k, Gravity: k}
-				pol, ok := core.ByName(polName)
-				if !ok {
-					return nil, fmt.Errorf("experiments: unknown policy %q", polName)
-				}
-				r, err := sched.Run(sched.Config{
-					Machine: opts.Machine,
-					Policy:  pol,
-					Apps:    opts.apps(mix, seed),
-					Seed:    seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				mean += r.MeanResponse() / float64(opts.Replications)
+			base := ((k-1)*len(policies) + pi) * R
+			for rep := 0; rep < R; rep++ {
+				mean += rts[base+rep] / float64(R)
 			}
 			pt.MeanRT[polName] = mean
 		}
@@ -208,31 +238,43 @@ func OpenArrivals(opts Options, interarrival simtime.Duration, njobs int, polici
 	if njobs < 1 || interarrival <= 0 {
 		return nil, fmt.Errorf("experiments: need njobs >= 1 and positive interarrival")
 	}
+	// Fan the (policy, replication) cells out; idx = pi*R + rep.
+	R := opts.Replications
+	rts := make([]float64, len(policies)*R)
+	err := parallel.ForEach(context.Background(), opts.Workers, len(rts), func(ctx context.Context, idx int) error {
+		rep := idx % R
+		polName := policies[idx/R]
+		seed := parallel.CellSeed(opts.Seed, uint64(rep))
+		// Build the job list by cycling app types; arrivals are a seeded
+		// Poisson process.
+		mix := workload.Mix{Number: 200, MVA: (njobs + 2) / 3, Matrix: (njobs + 1) / 3, Gravity: njobs / 3}
+		apps := opts.apps(mix, seed)[:njobs]
+		arrivals := poissonArrivals(njobs, interarrival, seed)
+		pol, ok := core.ByName(polName)
+		if !ok {
+			return fmt.Errorf("experiments: unknown policy %q", polName)
+		}
+		r, err := runSim(sched.Config{
+			Machine:  opts.Machine,
+			Policy:   pol,
+			Apps:     apps,
+			Arrivals: arrivals,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		rts[idx] = r.MeanResponse()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]float64, len(policies))
-	for _, polName := range policies {
+	for pi, polName := range policies {
 		var mean float64
-		for rep := 0; rep < opts.Replications; rep++ {
-			seed := opts.Seed + uint64(rep)*0x1000
-			// Build the job list by cycling app types; arrivals are a
-			// seeded Poisson process.
-			mix := workload.Mix{Number: 200, MVA: (njobs + 2) / 3, Matrix: (njobs + 1) / 3, Gravity: njobs / 3}
-			apps := opts.apps(mix, seed)[:njobs]
-			arrivals := poissonArrivals(njobs, interarrival, seed)
-			pol, ok := core.ByName(polName)
-			if !ok {
-				return nil, fmt.Errorf("experiments: unknown policy %q", polName)
-			}
-			r, err := sched.Run(sched.Config{
-				Machine:  opts.Machine,
-				Policy:   pol,
-				Apps:     apps,
-				Arrivals: arrivals,
-				Seed:     seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			mean += r.MeanResponse() / float64(opts.Replications)
+		for rep := 0; rep < R; rep++ {
+			mean += rts[pi*R+rep] / float64(R)
 		}
 		out[polName] = mean
 	}

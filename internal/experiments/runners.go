@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// runnerPool recycles sched.Runner engines across simulation cells: each
+// worker checks one out per cell and returns it afterwards, so the event
+// queue, cache model and their internal buffers are allocated once per
+// worker rather than once per run. Reusing a Runner is bitwise equivalent
+// to building a fresh engine (see the sched package's
+// TestRunnerReuseBitwiseIdentical), so pooling cannot perturb results.
+var runnerPool = sync.Pool{New: func() any { return sched.NewRunner() }}
+
+// runSim executes one simulation cell on a pooled Runner.
+func runSim(cfg sched.Config) (sched.Result, error) {
+	r := runnerPool.Get().(*sched.Runner)
+	defer runnerPool.Put(r)
+	return r.Run(cfg)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/measure"
@@ -11,14 +12,20 @@ import (
 
 // Table1 runs the Section-4 penalty measurement protocol over the three
 // applications and the paper's three rescheduling intervals, producing the
-// data behind the paper's Table 1.
+// data behind the paper's Table 1. It is Table1Ctx without cancellation.
 func Table1(opts Options) (measure.Table1, error) {
+	return Table1Ctx(context.Background(), opts)
+}
+
+// Table1Ctx is Table1 with cancellation; the (Q, application) measurement
+// cells run on opts.Workers workers.
+func Table1Ctx(ctx context.Context, opts Options) (measure.Table1, error) {
 	if err := opts.Validate(); err != nil {
 		return measure.Table1{}, err
 	}
 	mc := opts.Machine
 	mc.Processors = 1 // the paper's measurement uses a single processor
-	return measure.BuildTable1(mc, memtrace.Patterns(), measure.DefaultQs(), opts.MeasureBudget, opts.Seed)
+	return measure.BuildTable1Ctx(ctx, mc, memtrace.Patterns(), measure.DefaultQs(), opts.MeasureBudget, opts.Seed, opts.Workers)
 }
 
 // Table1Report renders the measured penalties in the paper's Table-1

@@ -105,12 +105,16 @@ func (c *Cache) Occupied() float64 { return c.occupied }
 
 // Flush empties the cache.
 func (c *Cache) Flush() {
-	for k := range c.idx {
-		delete(c.idx, k)
-	}
+	clear(c.idx)
 	c.entries = c.entries[:0]
 	c.occupied = 0
 }
+
+// Reset prepares the cache for a fresh simulation run: occupancy is
+// emptied while the entry slice and index map keep their allocated
+// capacity, so a cache reused across the replications of an experiment
+// cell stops re-growing its internals after the first run.
+func (c *Cache) Reset() { c.Flush() }
 
 // remove drops the entry at position i by swapping with the last entry.
 func (c *Cache) remove(i int) {

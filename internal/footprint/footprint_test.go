@@ -300,3 +300,24 @@ func TestInvalidate(t *testing.T) {
 		t.Errorf("negative Invalidate = %v", got)
 	}
 }
+
+func TestResetEquivalentToFresh(t *testing.T) {
+	c := MustNew(1000)
+	c.Load(1, 400)
+	c.Load(2, 800)
+	c.Reset()
+	if c.Occupied() != 0 || c.Resident(1) != 0 || c.Resident(2) != 0 {
+		t.Fatalf("reset cache not empty: occ=%v", c.Occupied())
+	}
+	// Identical behaviour after Reset as on a fresh cache.
+	fresh := MustNew(1000)
+	for _, cc := range []*Cache{c, fresh} {
+		cc.Load(3, 600)
+		cc.Load(4, 700)
+	}
+	if c.Resident(3) != fresh.Resident(3) || c.Resident(4) != fresh.Resident(4) ||
+		c.Occupied() != fresh.Occupied() {
+		t.Fatalf("reset cache diverges from fresh: %v/%v vs %v/%v",
+			c.Resident(3), c.Resident(4), fresh.Resident(3), fresh.Resident(4))
+	}
+}

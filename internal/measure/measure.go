@@ -28,11 +28,13 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/memtrace"
+	"repro/internal/parallel"
 	"repro/internal/simtime"
 )
 
@@ -260,6 +262,16 @@ func DefaultQs() []simtime.Duration {
 // BuildTable1 runs the complete protocol over all application pairs and Qs.
 // budget is the per-run compute budget; seed fixes the random streams.
 func BuildTable1(mc machine.Config, patterns []memtrace.Pattern, qs []simtime.Duration, budget simtime.Duration, seed uint64) (Table1, error) {
+	return BuildTable1Ctx(context.Background(), mc, patterns, qs, budget, seed, 0)
+}
+
+// BuildTable1Ctx is BuildTable1 with cancellation and a worker bound,
+// fanning the (Q, measured application) cells out over workers goroutines
+// (zero means runtime.GOMAXPROCS(0), one is sequential). Every cell is an
+// independent set of single-processor runs with its own caches and
+// generators seeded only by (seed, Q, pattern), so the table is identical
+// for every worker count.
+func BuildTable1Ctx(ctx context.Context, mc machine.Config, patterns []memtrace.Pattern, qs []simtime.Duration, budget simtime.Duration, seed uint64, workers int) (Table1, error) {
 	t := Table1{
 		Qs:    qs,
 		Cells: make(map[simtime.Duration]map[string]Penalties),
@@ -267,14 +279,25 @@ func BuildTable1(mc machine.Config, patterns []memtrace.Pattern, qs []simtime.Du
 	for _, p := range patterns {
 		t.Apps = append(t.Apps, p.Name)
 	}
-	for _, q := range qs {
+	// One slot per (q, measured) cell; idx = qi*len(patterns) + pi.
+	cells := make([]Penalties, len(qs)*len(patterns))
+	err := parallel.ForEach(ctx, workers, len(cells), func(ctx context.Context, idx int) error {
+		q := qs[idx/len(patterns)]
+		p := patterns[idx%len(patterns)]
+		pen, err := MeasurePenalties(mc, p, patterns, Options{Q: q, Budget: budget, Seed: seed})
+		if err != nil {
+			return err
+		}
+		cells[idx] = pen
+		return nil
+	})
+	if err != nil {
+		return Table1{}, err
+	}
+	for qi, q := range qs {
 		t.Cells[q] = make(map[string]Penalties)
-		for _, p := range patterns {
-			pen, err := MeasurePenalties(mc, p, patterns, Options{Q: q, Budget: budget, Seed: seed})
-			if err != nil {
-				return Table1{}, err
-			}
-			t.Cells[q][p.Name] = pen
+		for pi, p := range patterns {
+			t.Cells[q][p.Name] = cells[qi*len(patterns)+pi]
 		}
 	}
 	return t, nil

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/cache"
 	"repro/internal/cachemodel"
 	"repro/internal/eventq"
 	"repro/internal/machine"
@@ -243,6 +244,11 @@ type jobRT struct {
 	// giving Dynamic an accidental %affinity far above the paper's
 	// observed chance level (Table 3: 21-31%).
 	rng *xrand.Source
+
+	// pickScratch and sibScratch are reused buffers for pickArbitrary and
+	// invalidateShared, both called once or more per execution segment.
+	pickScratch []*taskRT
+	sibScratch  []int
 }
 
 type procRT struct {
@@ -267,13 +273,18 @@ type procRT struct {
 
 	idleStart simtime.Time
 	yieldEv   *eventq.Event
+
+	// segDoneFn and yieldFn are this processor's event callbacks, built
+	// once at engine setup and reused for every scheduled event.
+	segDoneFn func()
+	yieldFn   func()
 }
 
 type engine struct {
 	cfg   Config
 	mc    machine.Config
 	pol   alloc.Policy
-	q     eventq.Queue
+	q     *eventq.Queue
 	bus   *bus.Bus
 	model cachemodel.Model
 	jobs  []*jobRT
@@ -289,33 +300,100 @@ type engine struct {
 	quantumEv   *eventq.Event
 }
 
-// Run executes the configured simulation to completion.
-func Run(cfg Config) (Result, error) {
+// Runner executes simulation runs back to back, reusing the expensive
+// engine substrate — the pending-event heap (with its recycled Event
+// objects) and the per-processor cache model — across runs. A Runner is
+// exactly as deterministic as Run: a reused Runner and a fresh one produce
+// bitwise identical Results for the same Config.
+//
+// A Runner is NOT safe for concurrent use; the experiment campaign layer
+// pools one Runner per worker goroutine (see internal/experiments).
+type Runner struct {
+	q eventq.Queue
+
+	// Cached cache model, rebuilt only when the next run's geometry or
+	// seed differs from the one it was built for.
+	model      cachemodel.Model
+	modelKind  cachemodel.Kind
+	modelProcs int
+	modelCache cache.Config
+	modelSeed  uint64
+}
+
+// NewRunner returns an empty Runner; state is grown on first use.
+func NewRunner() *Runner { return &Runner{} }
+
+// model returns a cache model for the run, reusing (after a Reset) the
+// previous run's instance when its construction parameters match.
+func (r *Runner) cacheModel(cfg Config) (cachemodel.Model, error) {
+	if r.model != nil && r.modelKind == cfg.CacheModel &&
+		r.modelProcs == cfg.Machine.Processors &&
+		r.modelCache == cfg.Machine.Cache && r.modelSeed == cfg.Seed {
+		r.model.Reset()
+		return r.model, nil
+	}
+	m, err := cachemodel.New(cfg.CacheModel, cfg.Machine.Processors, cfg.Machine.Cache, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.model = m
+	r.modelKind = cfg.CacheModel
+	r.modelProcs = cfg.Machine.Processors
+	r.modelCache = cfg.Machine.Cache
+	r.modelSeed = cfg.Seed
+	return m, nil
+}
+
+// Run executes the configured simulation to completion. It is equivalent
+// to the package-level Run but amortizes event-queue and cache-model
+// allocations across calls.
+func (r *Runner) Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	cfg = cfg.withDefaults()
-	model, err := cachemodel.New(cfg.CacheModel, cfg.Machine.Processors, cfg.Machine.Cache, cfg.Seed)
+	model, err := r.cacheModel(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	r.q.Reset()
 	e := &engine{
 		cfg:     cfg,
 		mc:      cfg.Machine,
 		pol:     cfg.Policy,
+		q:       &r.q,
 		bus:     bus.MustNew(cfg.Machine.LineFill, cfg.Machine.BusWindow),
 		model:   model,
 		st:      alloc.NewState(cfg.Machine.Processors, len(cfg.Apps)),
 		credits: make([]float64, len(cfg.Apps)),
 		profile: make([]simtime.Duration, cfg.Machine.Processors+1),
 	}
+	return e.run()
+}
+
+// Run executes the configured simulation to completion on a fresh Runner.
+func Run(cfg Config) (Result, error) {
+	return NewRunner().Run(cfg)
+}
+
+// run finishes engine construction and drives the event loop.
+func (e *engine) run() (Result, error) {
+	cfg := e.cfg
 	for p := 0; p < cfg.Machine.Processors; p++ {
-		e.procs = append(e.procs, &procRT{
+		pr := &procRT{
 			id:       p,
 			job:      -1,
 			lastTask: alloc.NoTask,
 			bound:    alloc.NoTask,
-		})
+		}
+		// Per-processor event callbacks are built once here so that the
+		// hot path (one completion event per execution segment, one yield
+		// event per idle span) schedules them without allocating a fresh
+		// closure per event.
+		pid := p
+		pr.segDoneFn = func() { e.segmentDone(pid) }
+		pr.yieldFn = func() { e.yieldFire(pid) }
+		e.procs = append(e.procs, pr)
 	}
 	for i, app := range cfg.Apps {
 		j, err := workload.NewJob(i, app)
@@ -343,6 +421,8 @@ func Run(cfg Config) (Result, error) {
 	if q := e.pol.Quantum(); q > 0 {
 		var tick func()
 		tick = func() {
+			e.q.Free(e.quantumEv)
+			e.quantumEv = nil
 			if e.activeJobsRemaining() {
 				e.policyEvent(alloc.TrigQuantum, -1)
 				e.quantumEv = e.q.After(q, tick)
@@ -420,16 +500,19 @@ func (e *engine) beginIdle(p *procRT) {
 		e.policyEvent(alloc.TrigProcFree, p.id)
 		return
 	}
-	pid := p.id
-	p.yieldEv = e.q.After(delay, func() {
-		pp := e.procs[pid]
-		pp.yieldEv = nil
-		if pp.job >= 0 && !pp.running {
-			pp.yield = true
-			e.record(trace.Yield, pid, pp.job, -1, false, false)
-			e.policyEvent(alloc.TrigProcFree, pid)
-		}
-	})
+	p.yieldEv = e.q.After(delay, p.yieldFn)
+}
+
+// yieldFire is the yield-delay expiry callback for processor pid.
+func (e *engine) yieldFire(pid int) {
+	pp := e.procs[pid]
+	e.q.Free(pp.yieldEv)
+	pp.yieldEv = nil
+	if pp.job >= 0 && !pp.running {
+		pp.yield = true
+		e.record(trace.Yield, pid, pp.job, -1, false, false)
+		e.policyEvent(alloc.TrigProcFree, pid)
+	}
 }
 
 // endIdle stops waste accrual, attributing the idle span to the owning job.
@@ -441,6 +524,7 @@ func (e *engine) endIdle(p *procRT) {
 	e.jobs[p.job].waste += e.now().Sub(p.idleStart)
 	if p.yieldEv != nil {
 		e.q.Cancel(p.yieldEv)
+		e.q.Free(p.yieldEv)
 		p.yieldEv = nil
 	}
 	p.yield = false
@@ -602,7 +686,7 @@ func (e *engine) startSegment(p *procRT, overhead simtime.Duration) {
 	j := e.jobs[p.job]
 	w := j.job.Remaining(t.thread)
 	c0 := t.dispatchCompute
-	misses := e.model.Plan(p.id, t.gid, j.app.Pattern, c0, w, t.residentAtDispatch)
+	misses := e.model.Plan(p.id, t.gid, &j.app.Pattern, c0, w, t.residentAtDispatch)
 	missTime := e.bus.ServiceN(e.now(), int(misses+0.5))
 	wall := overhead + e.mc.Compute(w) + missTime
 
@@ -612,8 +696,7 @@ func (e *engine) startSegment(p *procRT, overhead simtime.Duration) {
 	p.segMisses = misses
 	p.segMissTime = missTime
 	e.setRunning(p, true)
-	pid := p.id
-	p.segEv = e.q.After(wall, func() { e.segmentDone(pid) })
+	p.segEv = e.q.After(wall, p.segDoneFn)
 }
 
 // segmentDone fires when a thread finishes on processor pid.
@@ -621,9 +704,10 @@ func (e *engine) segmentDone(pid int) {
 	p := e.procs[pid]
 	t := p.task
 	j := e.jobs[p.job]
+	e.q.Free(p.segEv)
 
 	// Account the completed segment.
-	committed := e.model.Commit(p.id, t.gid, j.app.Pattern, t.dispatchCompute, p.segWork, t.residentAtDispatch)
+	committed := e.model.Commit(p.id, t.gid, &j.app.Pattern, t.dispatchCompute, p.segWork, t.residentAtDispatch)
 	e.invalidateShared(p, j, t, p.segWork)
 	t.dispatchCompute += p.segWork
 	j.work += p.segWork
@@ -696,12 +780,13 @@ func (e *engine) invalidateShared(p *procRT, j *jobRT, t *taskRT, w simtime.Dura
 	if writes < 0.5 {
 		return
 	}
-	var siblings []int
+	siblings := j.sibScratch[:0]
 	for _, sib := range j.tasks {
 		if sib != t {
 			siblings = append(siblings, sib.gid)
 		}
 	}
+	j.sibScratch = siblings
 	if len(siblings) == 0 {
 		return
 	}
@@ -711,12 +796,13 @@ func (e *engine) invalidateShared(p *procRT, j *jobRT, t *taskRT, w simtime.Dura
 // pickArbitrary returns a uniformly random task of j in the wanted state,
 // or nil if none exists.
 func (j *jobRT) pickArbitrary(want taskState) *taskRT {
-	var candidates []*taskRT
+	candidates := j.pickScratch[:0]
 	for _, t := range j.tasks {
 		if t.state == want {
 			candidates = append(candidates, t)
 		}
 	}
+	j.pickScratch = candidates
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -738,6 +824,7 @@ func (e *engine) preempt(p *procRT) {
 	t := p.task
 	j := e.jobs[p.job]
 	e.q.Cancel(p.segEv)
+	e.q.Free(p.segEv)
 	p.segEv = nil
 
 	elapsed := e.now().Sub(p.segStart)
@@ -751,7 +838,7 @@ func (e *engine) preempt(p *procRT) {
 	workDone := p.segWork.Scale(frac)
 	missTimeDone := p.segMissTime.Scale(frac)
 
-	missDone := e.model.Commit(p.id, t.gid, j.app.Pattern, t.dispatchCompute, workDone, t.residentAtDispatch)
+	missDone := e.model.Commit(p.id, t.gid, &j.app.Pattern, t.dispatchCompute, workDone, t.residentAtDispatch)
 	e.invalidateShared(p, j, t, workDone)
 	t.dispatchCompute += workDone
 	j.work += workDone

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cachemodel"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/simtime"
@@ -334,5 +335,57 @@ func TestMaxEventsBackstop(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("event cap not enforced")
+	}
+}
+
+// TestRunnerReuseBitwiseIdentical pins the Runner contract: a Runner
+// reused across runs (reusing its event heap, recycled events, and cache
+// model) must produce results bitwise identical to fresh runs, for both
+// cache models and across differing configs interleaved on one Runner.
+func TestRunnerReuseBitwiseIdentical(t *testing.T) {
+	cfgA := func() Config {
+		pol, _ := core.ByName("Dyn-Aff")
+		return Config{Machine: mc16(), Policy: pol,
+			Apps: []workload.App{smallMVA(), smallGravity()}, Seed: 3}
+	}
+	cfgB := func() Config {
+		pol, _ := core.ByName("Dynamic")
+		return Config{Machine: mc16(), Policy: pol,
+			Apps: []workload.App{smallMatrix()}, Seed: 9}
+	}
+	cfgC := func() Config {
+		pol, _ := core.ByName("Dyn-Aff")
+		return Config{Machine: mc16(), Policy: pol,
+			Apps: []workload.App{smallGravity()}, Seed: 3, CacheModel: cachemodel.KindExact}
+	}
+	fresh := make([]Result, 0, 4)
+	for _, mk := range []func() Config{cfgA, cfgB, cfgA, cfgC} {
+		r, err := Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh = append(fresh, r)
+	}
+	rn := NewRunner()
+	for k, mk := range []func() Config{cfgA, cfgB, cfgA, cfgC} {
+		r, err := rn.Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fresh[k]
+		if r.Makespan != f.Makespan || r.Events != f.Events ||
+			r.BusTransactions != f.BusTransactions {
+			t.Fatalf("run %d: reused runner diverged: %+v vs %+v", k, r, f)
+		}
+		for i := range f.Jobs {
+			if r.Jobs[i] != f.Jobs[i] {
+				t.Fatalf("run %d job %d differs:\n%+v\n%+v", k, i, r.Jobs[i], f.Jobs[i])
+			}
+		}
+		for i := range f.Profile {
+			if r.Profile[i] != f.Profile[i] {
+				t.Fatalf("run %d profile[%d] differs", k, i)
+			}
+		}
 	}
 }

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-compare ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json ci
 
 all: build
 
@@ -30,10 +30,28 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# One iteration of the exact-cache fast-path benchmarks (flat-array cache,
+# undo journal, single-replay plan/commit, block generation) — a dedicated
+# gate so a regression in the hot path fails ci by name even though
+# bench-smoke also sweeps these packages.
+bench-cache:
+	$(GO) test -run '^$$' -bench . -benchtime 1x \
+		./internal/cache/ ./internal/cachemodel/ ./internal/memtrace/
+
 # The worker-pool scaling benchmark (EXPERIMENTS.md "Campaign runner"):
 # the same campaign at 1, 4 and 8 workers; outputs are bitwise identical,
 # only the wall clock may differ.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkComparePolicies$$' -cpu 1,4,8 -benchtime 2x .
 
-ci: vet build race bench-smoke
+# Machine-readable perf baseline (BENCH_cache.json): the cache/replay
+# microbenchmarks at full benchtime plus the campaign-level exhibits at a
+# few iterations, parsed into benchmark -> {ns/op, B/op, allocs/op}.
+bench-json:
+	{ $(GO) test -run '^$$' -bench . -benchmem \
+		./internal/cache/ ./internal/cachemodel/ ./internal/memtrace/ ; \
+	  $(GO) test -run '^$$' -benchmem -benchtime 2x \
+		-bench 'BenchmarkComparePolicies$$|BenchmarkTable1$$|BenchmarkAblationExactEngine$$' . ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_cache.json
+
+ci: vet build race bench-smoke bench-cache

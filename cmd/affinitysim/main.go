@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -61,6 +62,8 @@ type cli struct {
 	maxProduct float64
 	policy     string
 	window     float64
+	cpuProfile string
+	memProfile string
 }
 
 func parse(args []string) (string, *cli, error) {
@@ -82,6 +85,8 @@ func parse(args []string) (string, *cli, error) {
 	fs.StringVar(&c.policy, "policy", "Dyn-Aff", "policy for the trace subcommand")
 	fs.Float64Var(&c.window, "window", 5, "trace window length (seconds)")
 	workers := fs.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args[1:]); err != nil {
 		return "", nil, err
 	}
@@ -99,11 +104,20 @@ func parse(args []string) (string, *cli, error) {
 	return cmd, c, nil
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	cmd, c, err := parse(args)
 	if err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(c.cpuProfile, c.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	switch cmd {
 	case "characterize":
 		return c.characterize()

@@ -1,0 +1,84 @@
+// benchjson converts `go test -bench -benchmem` output on stdin into a
+// machine-readable JSON perf baseline: benchmark name -> ns/op, B/op,
+// allocs/op. The Makefile's bench-json target pipes the cache/replay/
+// campaign benchmarks through it to produce BENCH_cache.json, the
+// committed baseline future PRs diff against.
+//
+// The GOMAXPROCS suffix (-16) is stripped from names so baselines compare
+// across machines; the parallelism used is recorded once under "_meta".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark's parsed measurements. Zero-valued fields were
+// absent from the input line (e.g. B/op without -benchmem).
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches `BenchmarkName-N  iters  12.3 ns/op  45 B/op  6 allocs/op`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	results := make(map[string]any)
+	procs := "1" // go test omits the -N name suffix when GOMAXPROCS is 1
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{}
+		r.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			r.BPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if m[6] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
+		}
+		if m[2] != "" {
+			procs = m[2]
+		}
+		results[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	results["_meta"] = map[string]string{"gomaxprocs": procs}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -35,6 +36,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit sweep data as CSV instead of charts")
 	simulate := flag.Bool("simulate", false, "also simulate the scaled machines directly")
 	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -45,15 +48,21 @@ func main() {
 	opts.Replications = *reps
 	opts.Seed = *seed
 	opts.Workers = *workers
-	if err := run(opts, *maxProduct, *csv); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "futuremodel:", err)
 		os.Exit(1)
 	}
-	if *simulate {
-		if err := runSimulated(opts); err != nil {
-			fmt.Fprintln(os.Stderr, "futuremodel:", err)
-			os.Exit(1)
-		}
+	err = run(opts, *maxProduct, *csv)
+	if err == nil && *simulate {
+		err = runSimulated(opts)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "futuremodel:", err)
+		os.Exit(1)
 	}
 }
 

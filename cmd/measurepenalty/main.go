@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/measure"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/simtime"
 )
@@ -29,13 +30,24 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	detail := flag.Bool("detail", false, "print per-regime run details")
 	workers := flag.Int("workers", 0, "concurrent measurement cells (0 = all CPUs, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.MeasureBudget = simtime.Seconds(*budget)
 	opts.Seed = *seed
 	opts.Workers = *workers
-	if err := run(opts, *csv, *detail); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
+		os.Exit(1)
+	}
+	err = run(opts, *csv, *detail)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -28,6 +29,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	timeshare := flag.Bool("timeshare", false, "include the time-sharing baseline")
 	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -38,7 +41,16 @@ func main() {
 	opts.Replications = *reps
 	opts.Seed = *seed
 	opts.Workers = *workers
-	if err := run(opts, *mixNo, *csv, *timeshare); err != nil {
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "policycompare:", err)
+		os.Exit(1)
+	}
+	err = run(opts, *mixNo, *csv, *timeshare)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "policycompare:", err)
 		os.Exit(1)
 	}

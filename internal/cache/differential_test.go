@@ -1,0 +1,283 @@
+package cache
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// sameState fails the test unless the optimized cache and the naive oracle
+// agree on every observable: statistics, occupancy, per-owner residency and
+// the owner set.
+func sameState(t *testing.T, step int, c *Cache, n *Naive, owners int) {
+	t.Helper()
+	if cs, ns := c.Stats(), n.Stats(); cs != ns {
+		t.Fatalf("step %d: stats diverged: fast %+v naive %+v", step, cs, ns)
+	}
+	if co, no := c.Occupied(), n.Occupied(); co != no {
+		t.Fatalf("step %d: occupied diverged: fast %d naive %d", step, co, no)
+	}
+	for o := 0; o < owners; o++ {
+		if cr, nr := c.Resident(o), n.Resident(o); cr != nr {
+			t.Fatalf("step %d: Resident(%d) diverged: fast %d naive %d", step, o, cr, nr)
+		}
+	}
+	co, no := c.Owners(), n.Owners()
+	sort.Ints(co)
+	sort.Ints(no)
+	if len(co) != len(no) {
+		t.Fatalf("step %d: owner sets diverged: fast %v naive %v", step, co, no)
+	}
+	for i := range co {
+		if co[i] != no[i] {
+			t.Fatalf("step %d: owner sets diverged: fast %v naive %v", step, co, no)
+		}
+	}
+}
+
+// TestDifferentialRandomOps drives the optimized cache and the naive oracle
+// through identical random access/flush/invalidate sequences and requires
+// bitwise-identical behaviour at every step.
+func TestDifferentialRandomOps(t *testing.T) {
+	const owners = 4
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed, 0xd1ff)
+		c := MustNew(small())
+		n := MustNewNaive(small())
+		for step := 0; step < 3000; step++ {
+			switch rng.Intn(24) {
+			case 0:
+				c.Flush()
+				n.Flush()
+			case 1:
+				o := rng.Intn(owners)
+				if got, want := c.InvalidateOwner(o), n.InvalidateOwner(o); got != want {
+					t.Errorf("seed %d step %d: InvalidateOwner(%d) = %d, naive %d",
+						seed, step, o, got, want)
+					return false
+				}
+			case 2:
+				o, k := rng.Intn(owners), rng.Intn(8)
+				if got, want := c.InvalidateN(o, k), n.InvalidateN(o, k); got != want {
+					t.Errorf("seed %d step %d: InvalidateN(%d,%d) = %d, naive %d",
+						seed, step, o, k, got, want)
+					return false
+				}
+			default:
+				o := rng.Intn(owners)
+				addr := uint64(rng.Intn(96)) * 16
+				if got, want := c.Access(o, addr), n.Access(o, addr); got != want {
+					t.Errorf("seed %d step %d: Access(%d,%#x) = %v, naive %v",
+						seed, step, o, addr, got, want)
+					return false
+				}
+			}
+			sameState(t, step, c, n, owners)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDifferentialJournal interleaves journaled speculative windows with the
+// random op stream. The naive oracle mirrors the journal with clone
+// snapshots: commit keeps its post-window state, rollback restores the
+// snapshot. The two must stay bitwise identical throughout and after.
+func TestDifferentialJournal(t *testing.T) {
+	const owners = 4
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed, 0x10c5)
+		c := MustNew(small())
+		n := MustNewNaive(small())
+		for round := 0; round < 60; round++ {
+			// Some plain ops between windows.
+			for i := rng.Intn(40); i > 0; i-- {
+				o := rng.Intn(owners)
+				addr := uint64(rng.Intn(96)) * 16
+				if c.Access(o, addr) != n.Access(o, addr) {
+					return false
+				}
+			}
+			if rng.Intn(4) == 0 {
+				c.Flush()
+				n.Flush()
+			}
+			// A speculative window.
+			snap := n.Clone()
+			c.BeginJournal()
+			if !c.Journaling() {
+				return false
+			}
+			for i := rng.Intn(80); i > 0; i-- {
+				o := rng.Intn(owners)
+				addr := uint64(rng.Intn(96)) * 16
+				if c.Access(o, addr) != n.Access(o, addr) {
+					t.Errorf("seed %d round %d: journaled access diverged", seed, round)
+					return false
+				}
+			}
+			sameState(t, round, c, n, owners)
+			if rng.Intn(2) == 0 {
+				c.CommitJournal()
+			} else {
+				c.Rollback()
+				n = snap
+			}
+			sameState(t, round, c, n, owners)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJournalRollbackExact pins the journal contract directly: rollback
+// restores line contents, residency, occupancy AND statistics to the
+// BeginJournal point, so a subsequent identical replay behaves identically.
+func TestJournalRollbackExact(t *testing.T) {
+	c := MustNew(small())
+	for i := 0; i < 10; i++ {
+		c.Access(1, uint64(i*16))
+	}
+	before := c.Stats()
+	r1, occ1 := c.Resident(1), c.Occupied()
+
+	c.BeginJournal()
+	missesA := 0
+	for i := 0; i < 40; i++ {
+		if !c.Access(2, uint64((i+32)*16)) {
+			missesA++
+		}
+	}
+	c.Rollback()
+
+	if got := c.Stats(); got != before {
+		t.Fatalf("stats after rollback = %+v, want %+v", got, before)
+	}
+	if c.Resident(1) != r1 || c.Resident(2) != 0 || c.Occupied() != occ1 {
+		t.Fatalf("residency after rollback: r1=%d r2=%d occ=%d, want r1=%d r2=0 occ=%d",
+			c.Resident(1), c.Resident(2), c.Occupied(), r1, occ1)
+	}
+	// The same replay against the restored state gives the same misses.
+	c.BeginJournal()
+	missesB := 0
+	for i := 0; i < 40; i++ {
+		if !c.Access(2, uint64((i+32)*16)) {
+			missesB++
+		}
+	}
+	c.CommitJournal()
+	if missesA != missesB {
+		t.Fatalf("replay after rollback: %d misses, first run %d", missesB, missesA)
+	}
+	if c.Resident(2) == 0 {
+		t.Fatal("committed journal left no owner-2 lines")
+	}
+}
+
+// TestJournalPanics pins the operations that are illegal while a journal is
+// open or absent.
+func TestJournalPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	open := func() *Cache {
+		c := MustNew(small())
+		c.BeginJournal()
+		return c
+	}
+	mustPanic("Flush during journal", func() { open().Flush() })
+	mustPanic("InvalidateOwner during journal", func() { open().InvalidateOwner(1) })
+	mustPanic("InvalidateN during journal", func() { open().InvalidateN(1, 1) })
+	mustPanic("Clone during journal", func() { open().Clone() })
+	mustPanic("nested BeginJournal", func() { open().BeginJournal() })
+	mustPanic("CommitJournal without journal", func() { MustNew(small()).CommitJournal() })
+	mustPanic("Rollback without journal", func() { MustNew(small()).Rollback() })
+}
+
+// TestEpochFlushDoesNotResurrect guards the epoch-tagging scheme: after many
+// flushes (epoch bumps) stale lines must never read as valid, even when the
+// same addresses return.
+func TestEpochFlushDoesNotResurrect(t *testing.T) {
+	c := MustNew(small())
+	n := MustNewNaive(small())
+	for round := 0; round < 300; round++ {
+		for i := 0; i < 8; i++ {
+			addr := uint64(i * 16)
+			if c.Access(round%3, addr) != n.Access(round%3, addr) {
+				t.Fatalf("round %d: diverged on %#x", round, addr)
+			}
+		}
+		c.Flush()
+		n.Flush()
+		if c.Occupied() != 0 {
+			t.Fatalf("round %d: flush left %d lines", round, c.Occupied())
+		}
+	}
+}
+
+func BenchmarkFlush(b *testing.B) {
+	c := MustNew(SymmetryConfig())
+	for i := 0; i < 4096; i++ {
+		c.Access(i%8, uint64(i)*16)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Flush()
+		c.Access(i%8, uint64(i)*16) // keep the cache non-trivially occupied
+	}
+}
+
+func BenchmarkNaiveAccessHot(b *testing.B) {
+	c := MustNewNaive(SymmetryConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(1, uint64(i%1024)*16)
+	}
+}
+
+// BenchmarkJournalCommit measures a full speculative window that commits —
+// the exact model's common case: begin, replay a segment, keep it.
+func BenchmarkJournalCommit(b *testing.B) {
+	c := MustNew(SymmetryConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BeginJournal()
+		base := uint64(i % 64 * 256)
+		for k := 0; k < 256; k++ {
+			c.Access(1, (base+uint64(k))*16)
+		}
+		c.CommitJournal()
+	}
+}
+
+// BenchmarkJournalRollback measures the preemption path: begin, replay,
+// undo.
+func BenchmarkJournalRollback(b *testing.B) {
+	c := MustNew(SymmetryConfig())
+	for k := 0; k < 2048; k++ {
+		c.Access(1, uint64(k)*16)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BeginJournal()
+		base := uint64(i % 64 * 256)
+		for k := 0; k < 256; k++ {
+			c.Access(2, (base+uint64(k))*16)
+		}
+		c.Rollback()
+	}
+}

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"testing"
+)
+
+// FuzzCacheDifferential feeds an arbitrary op-code stream to the optimized
+// cache and the naive oracle and requires bitwise-identical behaviour. The
+// byte stream encodes ops: journaled windows are mirrored on the oracle via
+// clone snapshots (commit keeps, rollback restores), so the fuzzer explores
+// every interleaving of the journal protocol with flushes and invalidations
+// the scheduler could produce — and many it couldn't.
+func FuzzCacheDifferential(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 4, 5, 251, 252, 6, 7, 253})
+	f.Add([]byte{250, 10, 20, 30, 252, 250, 10, 20, 30, 251})
+	f.Add([]byte{254, 0, 1, 255, 3, 100, 101, 254, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const owners = 4
+		c := MustNew(small())
+		n := MustNewNaive(small())
+		var snap *Naive // oracle state at BeginJournal, nil when no journal
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			arg := func() int { // next byte as a small argument, 0 if exhausted
+				if i+1 < len(ops) {
+					i++
+					return int(ops[i])
+				}
+				return 0
+			}
+			switch {
+			case op == 250: // begin journal
+				if snap == nil {
+					snap = n.Clone()
+					c.BeginJournal()
+				}
+			case op == 251: // commit
+				if snap != nil {
+					c.CommitJournal()
+					snap = nil
+				}
+			case op == 252: // rollback
+				if snap != nil {
+					c.Rollback()
+					n = snap
+					snap = nil
+				}
+			case op == 253: // flush (illegal mid-journal; resolve first)
+				if snap != nil {
+					c.Rollback()
+					n = snap
+					snap = nil
+				}
+				c.Flush()
+				n.Flush()
+			case op == 254: // invalidate owner
+				o := arg() % owners
+				if snap != nil {
+					c.CommitJournal()
+					snap = nil
+				}
+				if got, want := c.InvalidateOwner(o), n.InvalidateOwner(o); got != want {
+					t.Fatalf("op %d: InvalidateOwner(%d) = %d, naive %d", i, o, got, want)
+				}
+			case op == 255: // invalidate N
+				o, k := arg()%owners, arg()%8
+				if snap != nil {
+					c.Rollback()
+					n = snap
+					snap = nil
+				}
+				if got, want := c.InvalidateN(o, k), n.InvalidateN(o, k); got != want {
+					t.Fatalf("op %d: InvalidateN(%d,%d) = %d, naive %d", i, o, k, got, want)
+				}
+			default: // access: owner from the op byte, address from the next
+				o := int(op) % owners
+				addr := uint64(arg()%128) * 16
+				if got, want := c.Access(o, addr), n.Access(o, addr); got != want {
+					t.Fatalf("op %d: Access(%d,%#x) = %v, naive %v", i, o, addr, got, want)
+				}
+			}
+			if cs, ns := c.Stats(), n.Stats(); cs != ns {
+				t.Fatalf("op %d: stats diverged: fast %+v naive %+v", i, cs, ns)
+			}
+			if c.Occupied() != n.Occupied() {
+				t.Fatalf("op %d: occupied diverged: fast %d naive %d", i, c.Occupied(), n.Occupied())
+			}
+			for o := 0; o < owners; o++ {
+				if c.Resident(o) != n.Resident(o) {
+					t.Fatalf("op %d: Resident(%d) diverged: fast %d naive %d",
+						i, o, c.Resident(o), n.Resident(o))
+				}
+			}
+		}
+		if snap != nil {
+			c.Rollback() // leave no journal open across iterations
+		}
+	})
+}

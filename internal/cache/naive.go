@@ -1,0 +1,203 @@
+package cache
+
+// Naive is the original per-set-slice, residency-map implementation of the
+// simulator, retained verbatim as the differential-test oracle for the flat
+// epoch-based Cache. It has no journal; callers that need rollback snapshot
+// it with Clone. Production code must use Cache — Naive exists so the fuzz
+// and differential tests in this package (and the clone-based exact-naive
+// model in internal/cachemodel) can hold the optimized layout bitwise
+// equivalent to the layout it replaced.
+type Naive struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      []way // sets*ways entries, set-major
+	nways     int
+
+	clock    uint64
+	resident map[int]int // owner -> lines currently resident
+
+	accesses uint64
+	misses   uint64
+	evicted  uint64
+}
+
+type way struct {
+	tag   uint64 // line address (byte address >> lineShift); valid iff owner != NoOwner
+	owner int
+	used  uint64 // global access counter value at last touch, for LRU
+}
+
+// NewNaive constructs the reference simulator with the given geometry.
+func NewNaive(cfg Config) (*Naive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Naive{
+		cfg:       cfg,
+		lineShift: uint(lineShiftOf(cfg)),
+		setMask:   uint64(cfg.Sets() - 1),
+		ways:      make([]way, cfg.Lines()),
+		nways:     cfg.Ways,
+		resident:  make(map[int]int),
+	}
+	for i := range c.ways {
+		c.ways[i].owner = NoOwner
+	}
+	return c, nil
+}
+
+// MustNewNaive is NewNaive for known-good configurations; it panics on error.
+func MustNewNaive(cfg Config) *Naive {
+	c, err := NewNaive(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func lineShiftOf(cfg Config) int {
+	s := 0
+	for 1<<s < cfg.LineBytes {
+		s++
+	}
+	return s
+}
+
+// Config returns the cache geometry.
+func (c *Naive) Config() Config { return c.cfg }
+
+// Access simulates a reference by owner to the byte address addr and reports
+// whether it hit.
+func (c *Naive) Access(owner int, addr uint64) bool {
+	if owner < 0 {
+		panic("cache: negative owner")
+	}
+	c.clock++
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line&c.setMask) * c.nways
+	ws := c.ways[set : set+c.nways]
+
+	// Hit?
+	for i := range ws {
+		if ws[i].owner != NoOwner && ws[i].tag == line {
+			ws[i].used = c.clock
+			if ws[i].owner != owner {
+				c.resident[ws[i].owner]--
+				c.resident[owner]++
+				ws[i].owner = owner
+			}
+			return true
+		}
+	}
+
+	// Miss: find an invalid way, else evict LRU.
+	c.misses++
+	victim := 0
+	for i := range ws {
+		if ws[i].owner == NoOwner {
+			victim = i
+			goto install
+		}
+		if ws[i].used < ws[victim].used {
+			victim = i
+		}
+	}
+	c.evicted++
+	c.resident[ws[victim].owner]--
+install:
+	ws[victim] = way{tag: line, owner: owner, used: c.clock}
+	c.resident[owner]++
+	return false
+}
+
+// Flush invalidates the entire cache.
+func (c *Naive) Flush() {
+	for i := range c.ways {
+		c.ways[i].owner = NoOwner
+	}
+	for k := range c.resident {
+		delete(c.resident, k)
+	}
+}
+
+// InvalidateOwner removes every line belonging to owner, returning the
+// number of lines invalidated.
+func (c *Naive) InvalidateOwner(owner int) int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].owner == owner {
+			c.ways[i].owner = NoOwner
+			n++
+		}
+	}
+	if n > 0 {
+		delete(c.resident, owner)
+	}
+	return n
+}
+
+// InvalidateN removes up to n of owner's lines in way order, returning the
+// number of lines invalidated.
+func (c *Naive) InvalidateN(owner, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	removed := 0
+	for i := range c.ways {
+		if removed >= n {
+			break
+		}
+		if c.ways[i].owner == owner {
+			c.ways[i].owner = NoOwner
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.resident[owner] -= removed
+		if c.resident[owner] <= 0 {
+			delete(c.resident, owner)
+		}
+	}
+	return removed
+}
+
+// Resident returns the number of lines owner currently has in the cache.
+func (c *Naive) Resident(owner int) int { return c.resident[owner] }
+
+// Occupied returns the total number of valid lines.
+func (c *Naive) Occupied() int {
+	total := 0
+	for _, n := range c.resident {
+		total += n
+	}
+	return total
+}
+
+// Owners returns the set of owners with at least one resident line.
+func (c *Naive) Owners() []int {
+	var out []int
+	for o, n := range c.resident {
+		if n > 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Stats returns cumulative counters since construction.
+func (c *Naive) Stats() Stats {
+	return Stats{Accesses: c.accesses, Misses: c.misses, Evicted: c.evicted}
+}
+
+// Clone returns an independent deep copy.
+func (c *Naive) Clone() *Naive {
+	out := *c
+	out.ways = append([]way(nil), c.ways...)
+	out.resident = make(map[int]int, len(c.resident))
+	for k, v := range c.resident {
+		out.resident[k] = v
+	}
+	return &out
+}

@@ -106,10 +106,77 @@ const (
 // from the measured program's (separate processes share nothing).
 const interveningBase = 1 << 40
 
+// Stream is a precomputed prefix of one program's reference stream, plus a
+// generator parked at the prefix end for the (rare) references beyond it.
+//
+// The reference streams of this experiment are fixed by (pattern, address
+// base, seed) alone: think time is one gap per reference, and nothing the
+// cache or the scheduler does feeds back into address generation. Every run
+// of a Table 1 cell therefore replays the same measured stream, and every
+// multiprogrammed run against the same intervening application consumes a
+// prefix of the same intervening stream. Precomputing each stream once and
+// sharing it read-only across runs (and across campaign workers) removes
+// the dominant generator cost from the hot loop while staying trivially
+// bitwise identical to per-reference generation.
+type Stream struct {
+	addrs []uint64
+	gap   simtime.Duration
+	tail  *memtrace.Generator // positioned after addrs; cloned, never mutated
+}
+
+// NewStream precomputes n references of the pattern's stream. A Stream is
+// immutable after construction and safe for concurrent use.
+func NewStream(pat memtrace.Pattern, base, seed uint64, n int) *Stream {
+	g := memtrace.NewGenerator(pat, base, seed)
+	s := &Stream{addrs: make([]uint64, n), gap: g.Gap()}
+	g.FillBlock(s.addrs)
+	s.tail = g
+	return s
+}
+
+// measuredStream precomputes the measured program's stream for one run:
+// exactly the references a budget's worth of compute performs.
+func measuredStream(measured memtrace.Pattern, opts Options) *Stream {
+	g := memtrace.NewGenerator(measured, 0, opts.Seed)
+	return NewStream(measured, 0, opts.Seed, g.RefsFor(opts.Budget))
+}
+
+// interveningStream precomputes the intervening program's stream for one
+// run. The amount consumed depends on cache behaviour, so the length is a
+// heuristic (one budget's worth of its references); consumption beyond it
+// falls back to the stream's tail generator.
+func interveningStream(intervening memtrace.Pattern, opts Options) *Stream {
+	g := memtrace.NewGenerator(intervening, interveningBase, opts.Seed^0x5bd1e995)
+	return NewStream(intervening, interveningBase, opts.Seed^0x5bd1e995, g.RefsFor(opts.Budget))
+}
+
+// cursor is one run's private read position over a shared Stream.
+type cursor struct {
+	s    *Stream
+	pos  int
+	tail *memtrace.Generator // lazy clone of s.tail once pos passes the prefix
+}
+
 // Run performs one single-processor run of the measured pattern under the
 // given regime. For Multiprog, intervening supplies the program run between
 // successive dispatches of the measured one; it is ignored otherwise.
 func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Pattern, regime Regime, opts Options) (RunResult, error) {
+	if err := mc.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	var istream *Stream
+	if regime == Multiprog {
+		istream = interveningStream(intervening, opts)
+	}
+	return runStreams(mc, measuredStream(measured, opts), istream, regime, opts)
+}
+
+// runStreams is Run over precomputed streams (see MeasurePenalties and
+// BuildTable1Ctx, which share streams across runs).
+func runStreams(mc machine.Config, measured *Stream, intervening *Stream, regime Regime, opts Options) (RunResult, error) {
 	if err := mc.Validate(); err != nil {
 		return RunResult{}, err
 	}
@@ -121,10 +188,9 @@ func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Patt
 		return RunResult{}, err
 	}
 
-	gen := memtrace.NewGenerator(measured, 0, opts.Seed)
-	var inter *memtrace.Generator
+	var inter cursor
 	if regime == Multiprog {
-		inter = memtrace.NewGenerator(intervening, interveningBase, opts.Seed^0x5bd1e995)
+		inter = cursor{s: intervening}
 	}
 
 	var (
@@ -132,12 +198,10 @@ func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Patt
 		nextSwitch = simtime.Duration(opts.Q)
 		switches   int
 		misses     uint64
-		accesses   uint64
 	)
-	for gen.Elapsed() < opts.Budget {
-		addr, think := gen.Next()
-		own += mc.Compute(think)
-		accesses++
+	step := mc.Compute(measured.gap)
+	for _, addr := range measured.addrs {
+		own += step
 		if !c.Access(ownerMeasured, addr) {
 			misses++
 			own += mc.LineFill
@@ -151,7 +215,7 @@ func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Patt
 			case Migrating:
 				c.Flush()
 			case Multiprog:
-				runIntervening(mc, c, inter, opts.Q)
+				runIntervening(mc, c, &inter, opts.Q)
 			}
 			nextSwitch = own + opts.Q
 		}
@@ -161,19 +225,68 @@ func Run(mc machine.Config, measured memtrace.Pattern, intervening memtrace.Patt
 		ResponseTime: own,
 		Switches:     switches,
 		Misses:       misses,
-		Accesses:     accesses,
+		Accesses:     uint64(len(measured.addrs)),
 	}, nil
 }
 
+// interBlock is the address-batch size for the intervening stream's
+// beyond-the-prefix tail path.
+const interBlock = 256
+
 // runIntervening executes the intervening program on the same cache for q
 // of its own time. Its time does not count against the measured program.
-func runIntervening(mc machine.Config, c *cache.Cache, gen *memtrace.Generator, q simtime.Duration) {
+func runIntervening(mc machine.Config, c *cache.Cache, cur *cursor, q simtime.Duration) {
+	step := mc.Compute(cur.s.gap)
 	var t simtime.Duration
-	for t < q {
-		addr, think := gen.Next()
-		t += mc.Compute(think)
-		if !c.Access(ownerIntervening, addr) {
+	addrs := cur.s.addrs
+	i := cur.pos
+	for t < q && i < len(addrs) {
+		t += step
+		if !c.Access(ownerIntervening, addrs[i]) {
 			t += mc.LineFill
+		}
+		i++
+	}
+	cur.pos = i
+	if t >= q {
+		return
+	}
+	// Prefix exhausted mid-quantum: continue on the tail generator. How
+	// many more references fit depends on the misses along the way, so
+	// blocks are fetched against an every-reference-hits upper bound; when
+	// the quantum ends mid-block the generator rewinds to the block start
+	// and re-consumes exactly the references used, landing bitwise where
+	// per-call generation would.
+	if cur.tail == nil {
+		cur.tail = cur.s.tail.Clone()
+	}
+	gen := cur.tail
+	var buf [interBlock]uint64
+	var mark memtrace.Mark
+	for t < q {
+		n := len(buf)
+		if step > 0 {
+			if need := int((q - t + step - 1) / step); need < n {
+				n = need
+			}
+		}
+		gen.Save(&mark)
+		blk := buf[:n]
+		gen.FillBlock(blk)
+		used := 0
+		for _, addr := range blk {
+			t += step
+			if !c.Access(ownerIntervening, addr) {
+				t += mc.LineFill
+			}
+			used++
+			if t >= q {
+				break
+			}
+		}
+		if used < n {
+			gen.Restore(&mark)
+			gen.FillBlock(blk[:used])
 		}
 	}
 }
@@ -199,16 +312,34 @@ type Penalties struct {
 // application against a set of intervening applications at one Q, and
 // derives P^NA and P^A.
 func MeasurePenalties(mc machine.Config, measured memtrace.Pattern, intervening []memtrace.Pattern, opts Options) (Penalties, error) {
-	stat, err := Run(mc, measured, memtrace.Pattern{}, Stationary, opts)
+	if err := mc.Validate(); err != nil {
+		return Penalties{}, err
+	}
+	if err := opts.Validate(); err != nil {
+		return Penalties{}, err
+	}
+	ms := measuredStream(measured, opts)
+	ivs := make([]*Stream, len(intervening))
+	for i, iv := range intervening {
+		ivs[i] = interveningStream(iv, opts)
+	}
+	return measurePenalties(mc, measured.Name, ms, intervening, ivs, opts)
+}
+
+// measurePenalties is MeasurePenalties over precomputed streams: the
+// measured stream is replayed by all len(intervening)+2 runs rather than
+// regenerated per run.
+func measurePenalties(mc machine.Config, name string, measured *Stream, intervening []memtrace.Pattern, ivStreams []*Stream, opts Options) (Penalties, error) {
+	stat, err := runStreams(mc, measured, nil, Stationary, opts)
 	if err != nil {
 		return Penalties{}, err
 	}
-	mig, err := Run(mc, measured, memtrace.Pattern{}, Migrating, opts)
+	mig, err := runStreams(mc, measured, nil, Migrating, opts)
 	if err != nil {
 		return Penalties{}, err
 	}
 	p := Penalties{
-		Measured:   measured.Name,
+		Measured:   name,
 		Q:          opts.Q,
 		PNA:        perSwitch(mig.ResponseTime-stat.ResponseTime, mig.Switches),
 		PA:         make(map[string]simtime.Duration, len(intervening)),
@@ -216,8 +347,8 @@ func MeasurePenalties(mc machine.Config, measured memtrace.Pattern, intervening 
 		Migrating:  mig,
 		Multi:      make(map[string]RunResult, len(intervening)),
 	}
-	for _, iv := range intervening {
-		multi, err := Run(mc, measured, iv, Multiprog, opts)
+	for i, iv := range intervening {
+		multi, err := runStreams(mc, measured, ivStreams[i], Multiprog, opts)
 		if err != nil {
 			return Penalties{}, err
 		}
@@ -279,12 +410,30 @@ func BuildTable1Ctx(ctx context.Context, mc machine.Config, patterns []memtrace.
 	for _, p := range patterns {
 		t.Apps = append(t.Apps, p.Name)
 	}
+	// The streams depend only on (pattern, budget, seed), not on Q or the
+	// regime, so each pattern's measured and intervening streams are built
+	// once here and shared read-only by every cell.
+	streamOpts := Options{Q: budget, Budget: budget, Seed: seed}
+	measStreams := make([]*Stream, len(patterns))
+	ivStreams := make([]*Stream, len(patterns))
+	err := parallel.ForEach(ctx, workers, 2*len(patterns), func(ctx context.Context, idx int) error {
+		if idx < len(patterns) {
+			measStreams[idx] = measuredStream(patterns[idx], streamOpts)
+		} else {
+			ivStreams[idx-len(patterns)] = interveningStream(patterns[idx-len(patterns)], streamOpts)
+		}
+		return nil
+	})
+	if err != nil {
+		return Table1{}, err
+	}
 	// One slot per (q, measured) cell; idx = qi*len(patterns) + pi.
 	cells := make([]Penalties, len(qs)*len(patterns))
-	err := parallel.ForEach(ctx, workers, len(cells), func(ctx context.Context, idx int) error {
+	err = parallel.ForEach(ctx, workers, len(cells), func(ctx context.Context, idx int) error {
 		q := qs[idx/len(patterns)]
 		p := patterns[idx%len(patterns)]
-		pen, err := MeasurePenalties(mc, p, patterns, Options{Q: q, Budget: budget, Seed: seed})
+		pen, err := measurePenalties(mc, p.Name, measStreams[idx%len(patterns)], patterns, ivStreams,
+			Options{Q: q, Budget: budget, Seed: seed})
 		if err != nil {
 			return err
 		}

@@ -183,31 +183,132 @@ func (g *Generator) layoutRegions() {
 }
 
 // Next returns the next referenced byte address and the execution time that
-// precedes the reference.
+// precedes the reference. It is the single-reference form of FillBlock; the
+// think time is always the pattern's Gap.
 func (g *Generator) Next() (addr uint64, think simtime.Duration) {
-	think = g.pat.Gap
-	g.elapsed += think
-	g.emitted++
-	if g.pat.PhaseEvery > 0 && g.elapsed >= simtime.Duration(g.phase+1)*g.pat.PhaseEvery {
-		g.phase++
-		g.layoutRegions()
+	var one [1]uint64
+	g.FillBlock(one[:])
+	return one[0], g.pat.Gap
+}
+
+// Gap returns the execution (think) time between successive references —
+// constant for a generator, so callers can convert an execution interval
+// into an exact reference count: an interval w consumes RefsFor(w)
+// references.
+func (g *Generator) Gap() simtime.Duration { return g.pat.Gap }
+
+// RefsFor returns the number of references Next (or FillBlock) produces
+// while executing for w: each reference is preceded by Gap of think time,
+// so the count is ceil(w/Gap). Zero for non-positive w.
+func (g *Generator) RefsFor(w simtime.Duration) int {
+	if w <= 0 {
+		return 0
 	}
-	u := g.rng.Float64()
-	for i := range g.cum {
-		if u < g.cum[i] {
-			c := g.pat.Components[i]
-			idx := g.pos[i]
-			g.pos[i] = (idx + 1) % c.Lines
-			line := idx
-			if c.Permuted {
-				line = int(g.perm[i][idx])
-			}
-			g.last = g.base + (g.offsets[i]+uint64(line))*LineBytes
-			return g.last, think
+	gap := g.pat.Gap
+	return int((w + gap - 1) / gap)
+}
+
+// FillBlock generates the next len(dst) referenced byte addresses into dst,
+// exactly equivalent to len(dst) successive Next calls. Batching keeps the
+// generator state (rng, walk positions, elapsed clock) in registers across
+// the block, which is what makes exact replay cheap: the per-reference cost
+// is one rng draw, one component select, and one position bump, with no
+// per-call bookkeeping.
+func (g *Generator) FillBlock(dst []uint64) {
+	gap := g.pat.Gap
+	rng := g.rng
+	cum := g.cum
+	elapsed := g.elapsed
+	last := g.last
+	// Next phase boundary; Never when the pattern has no phases.
+	nextPhase := simtime.Duration(simtime.Never)
+	if g.pat.PhaseEvery > 0 {
+		nextPhase = simtime.Duration(g.phase+1) * g.pat.PhaseEvery
+	}
+	for i := range dst {
+		elapsed += gap
+		if elapsed >= nextPhase {
+			g.phase++
+			g.layoutRegions()
+			nextPhase = simtime.Duration(g.phase+1) * g.pat.PhaseEvery
 		}
+		u := rng.Float64()
+		for k := 0; k < len(cum); k++ {
+			if u < cum[k] {
+				c := &g.pat.Components[k]
+				idx := g.pos[k]
+				next := idx + 1
+				if next == c.Lines {
+					next = 0
+				}
+				g.pos[k] = next
+				line := idx
+				if c.Permuted {
+					line = int(g.perm[k][idx])
+				}
+				last = g.base + (g.offsets[k]+uint64(line))*LineBytes
+				break
+			}
+			// Residual probability: very local reuse; re-touch the last
+			// line (last unchanged).
+		}
+		dst[i] = last
 	}
-	// Residual probability: very local reuse; re-touch the last line.
-	return g.last, think
+	g.elapsed = elapsed
+	g.last = last
+	g.emitted += uint64(len(dst))
+}
+
+// Mark is a saved generator position for Save/Restore. The zero value is
+// ready to use; a Mark's buffers are reused across Saves, so a long-lived
+// Mark makes the save/restore cycle allocation-free.
+type Mark struct {
+	rng     xrand.Source
+	pos     []int
+	offsets []uint64
+	perm    [][]int32
+	phase   uint64
+	elapsed simtime.Duration
+	last    uint64
+	emitted uint64
+	valid   bool
+}
+
+// Save records the generator's exact position in m. A later Restore(m)
+// rewinds the generator to this position, after which it reproduces the
+// same reference stream it produced the first time. This is what lets the
+// exact cache model roll back a speculatively replayed segment (see
+// internal/cachemodel) and the measurement harness un-consume block
+// overshoot (see internal/measure).
+func (g *Generator) Save(m *Mark) {
+	m.rng = *g.rng
+	m.pos = append(m.pos[:0], g.pos...)
+	m.offsets = append(m.offsets[:0], g.offsets...)
+	// perm's inner slices are replaced wholesale on phase changes and never
+	// mutated in place, so copying the headers pins the walk orders.
+	m.perm = append(m.perm[:0], g.perm...)
+	m.phase = g.phase
+	m.elapsed = g.elapsed
+	m.last = g.last
+	m.emitted = g.emitted
+	m.valid = true
+}
+
+// Restore rewinds the generator to the position recorded by Save. It panics
+// on a Mark that was never saved, or saved from a generator with a
+// different component count.
+func (g *Generator) Restore(m *Mark) {
+	if !m.valid || len(m.pos) != len(g.pat.Components) {
+		panic("memtrace: Restore from a foreign or unsaved Mark")
+	}
+	*g.rng = m.rng
+	g.pos = append(g.pos[:0], m.pos...)
+	g.offsets = append(g.offsets[:0], m.offsets...)
+	g.perm = append(g.perm[:0], m.perm...)
+	g.phase = m.phase
+	g.elapsed = m.elapsed
+	g.last = m.last
+	g.emitted = m.emitted
 }
 
 // Emitted returns the number of references generated so far.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -77,6 +78,47 @@ func TestExactModelMissCountsSane(t *testing.T) {
 		if ratio < 0.2 || ratio > 5 {
 			t.Errorf("job %d (%s): miss lines footprint %.0f vs exact %.0f (ratio %.2f)",
 				i, fp.Jobs[i].App, f, x, ratio)
+		}
+	}
+}
+
+// TestExactFastMatchesNaiveEndToEnd is the whole-system differential for
+// the single-replay plan/commit protocol: the same workloads, policies and
+// seeds must produce bitwise-identical scheduling Results under the fast
+// exact model and under the clone-and-replay-twice oracle. The workloads
+// include shared written data, so the coherency-invalidation interleavings
+// between Plan and Commit are exercised, and preempting policies exercise
+// the truncated-segment rollback path.
+func TestExactFastMatchesNaiveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact replay is seconds-long")
+	}
+	shared := smallGravity()
+	shared.SharedFrac = 0.15
+	for _, pol := range []string{"Equipartition", "Dyn-Aff", "Dynamic", "TimeShare-RR"} {
+		for _, seed := range []uint64{1, 7} {
+			run := func(kind cachemodel.Kind) Result {
+				// Policies carry per-run state (rotation cursors), so each
+				// run gets a fresh instance.
+				p, _ := core.ByName(pol)
+				res, err := Run(Config{
+					Machine:    mc16(),
+					Policy:     p,
+					Apps:       []workload.App{smallMatrix(), shared},
+					Seed:       seed,
+					CacheModel: kind,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fast := run(cachemodel.KindExact)
+			oracle := run(cachemodel.KindExactNaive)
+			if !reflect.DeepEqual(fast, oracle) {
+				t.Errorf("%s seed %d: fast exact result diverged from naive oracle\nfast:   %+v\noracle: %+v",
+					pol, seed, fast, oracle)
+			}
 		}
 	}
 }

@@ -84,6 +84,10 @@ func (c Config) Validate() error {
 	if err := c.Machine.Validate(); err != nil {
 		return err
 	}
+	if c.Machine.Processors >= 1<<taskGIDBits-1 {
+		return fmt.Errorf("sched: %d processors overflow the %d-bit task-id field",
+			c.Machine.Processors, taskGIDBits)
+	}
 	if c.Policy == nil {
 		return fmt.Errorf("sched: no policy")
 	}
@@ -577,8 +581,19 @@ func (e *engine) releaseProc(p *procRT) {
 // ---------------------------------------------------------------------------
 // Dispatch and execution.
 
+// taskGIDBits is the width reserved for the within-job task index in a
+// global task id. 2^20 tasks per job is far beyond any machine size the
+// simulator accepts (Config.Validate bounds Processors accordingly), and
+// taskGID itself fails loudly rather than silently colliding.
+const taskGIDBits = 20
+
 // taskGID assigns globally unique footprint owner ids.
-func taskGID(job, task int) int { return job*1024 + task + 1 }
+func taskGID(job, task int) int {
+	if task+1 >= 1<<taskGIDBits {
+		panic(fmt.Sprintf("sched: task index %d overflows the %d-bit task-id field", task, taskGIDBits))
+	}
+	return job<<taskGIDBits | (task + 1)
+}
 
 // chooseTask selects which of job j's kernel tasks should run on processor
 // p, honoring the policy's affinity preference. It returns nil when the job

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke ci
 
 all: build
 
@@ -47,11 +47,22 @@ bench-compare:
 # Machine-readable perf baseline (BENCH_cache.json): the cache/replay
 # microbenchmarks at full benchtime plus the campaign-level exhibits at a
 # few iterations, parsed into benchmark -> {ns/op, B/op, allocs/op}.
+# benchjson is built (not `go run`) so the binary carries VCS build info
+# and the baseline's _meta records the git revision that produced it.
 bench-json:
+	$(GO) build -o benchjson.bin ./cmd/benchjson
 	{ $(GO) test -run '^$$' -bench . -benchmem \
 		./internal/cache/ ./internal/cachemodel/ ./internal/memtrace/ ; \
 	  $(GO) test -run '^$$' -benchmem -benchtime 2x \
 		-bench 'BenchmarkComparePolicies$$|BenchmarkTable1$$|BenchmarkAblationExactEngine$$' . ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_cache.json
+	| ./benchjson.bin -o BENCH_cache.json
+	rm -f benchjson.bin
 
-ci: vet build race bench-smoke bench-cache
+# The affinityd gate: boots the daemon's serving core on a random port,
+# POSTs the same table1 campaign twice, and requires the second response
+# to be a result-cache hit with a byte-identical body; also proves SIGTERM
+# drains the real binary cleanly. The service suite runs under -race.
+serve-smoke:
+	$(GO) test -race -count=1 ./cmd/affinityd/ ./internal/service/
+
+ci: vet build race bench-smoke bench-cache serve-smoke

@@ -1,0 +1,119 @@
+// Command affinityd serves the repo's experiment campaigns as a
+// long-running HTTP/JSON daemon: POST a campaign request, get the result
+// body — memoized in a content-addressed cache, deduplicated against
+// identical in-flight requests, admission-controlled behind a bounded
+// queue, and cancellable. See internal/service for the API and semantics.
+//
+// Usage:
+//
+//	affinityd [-addr HOST:PORT] [-queue N] [-jobs N] [-cache-mb MB]
+//	          [-retry-after SEC] [-workers N] [-seed N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//
+//	-addr        listen address (default 127.0.0.1:8642; use :0 for a
+//	             random port, printed on startup)
+//	-queue       max queued campaigns before requests get 429 (default 16)
+//	-jobs        campaigns executed concurrently (default 2)
+//	-cache-mb    result-cache byte budget in MiB (default 64)
+//	-retry-after Retry-After hint on 429 responses, seconds (default 2)
+//	-workers     per-campaign simulation-cell concurrency applied when a
+//	             request omits params.workers (0 = all CPUs)
+//	-seed        default root seed for requests that omit params.seed
+//
+// Quick check once running:
+//
+//	curl -s localhost:8642/healthz
+//	curl -s -X POST localhost:8642/v1/campaigns \
+//	     -d '{"kind":"table1","params":{"fast":true}}'
+//
+// SIGINT/SIGTERM drain gracefully: queued jobs are cancelled, in-flight
+// jobs run to completion (up to -drain-sec), then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflags"
+	"repro/internal/service"
+	"repro/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "affinityd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
+	fs := flag.NewFlagSet("affinityd", flag.ExitOnError)
+	common := cliflags.Register(fs)
+	addr := fs.String("addr", "127.0.0.1:8642", "listen address (:0 = random port)")
+	queue := fs.Int("queue", 16, "max queued campaigns before 429")
+	jobs := fs.Int("jobs", 2, "campaigns executed concurrently")
+	cacheMB := fs.Int64("cache-mb", 64, "result-cache budget (MiB)")
+	retryAfter := fs.Int("retry-after", 2, "Retry-After hint on 429 (seconds)")
+	drainSec := fs.Int("drain-sec", 60, "max seconds to drain in-flight jobs at shutdown")
+	fs.Parse(os.Args[1:])
+
+	stopProf, err := common.StartProfiling()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	srv := service.New(service.Config{
+		QueueDepth:  *queue,
+		JobWorkers:  *jobs,
+		CacheBytes:  *cacheMB << 20,
+		CellWorkers: common.Workers,
+		DefaultSeed: common.Seed,
+		RetryAfter:  time.Duration(*retryAfter) * time.Second,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The smoke gate and scripts parse this line for the bound port.
+	fmt.Printf("affinityd: listening on http://%s (engine %s, %s)\n",
+		ln.Addr(), version.Engine, version.GitSHA())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("affinityd: %v — draining (in-flight jobs finish, queued jobs cancel)\n", s)
+	case err := <-serveErr:
+		return err
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
+	defer cancel()
+	// Drain the serving core first (the listener stays up so final status
+	// polls are answered), then close the listener.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "affinityd: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	fmt.Println("affinityd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestServeSmoke is the `make serve-smoke` gate: boot the daemon's
+// serving core on a random port, run the same table1 campaign twice
+// against the real simulation engine, and require the second response to
+// be a result-cache hit with a byte-identical body. Run under -race.
+func TestServeSmoke(t *testing.T) {
+	srv := service.New(service.Config{QueueDepth: 4, JobWorkers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	req := `{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"reps":1}}`
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	r1, body1 := post()
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d %s", r1.StatusCode, body1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first request X-Cache = %q, want miss", got)
+	}
+	if !bytes.Contains(body1, []byte(`"pna_us"`)) {
+		t.Errorf("table1 body missing penalties: %.120s", body1)
+	}
+
+	r2, body2 := post()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d %s", r2.StatusCode, body2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second request X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("cache hit body not byte-identical:\n%s\n%s", body1, body2)
+	}
+	if st := srv.Cache().Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats %+v, want exactly one miss then one hit", st)
+	}
+
+	// The hit is visible in /metrics too.
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !bytes.Contains(mb, []byte("affinityd_cache_hits_total 1")) {
+		t.Errorf("metrics missing cache hit counter:\n%s", mb)
+	}
+}
+
+// TestSigtermDrains builds the real binary, runs it on a random port,
+// and checks SIGTERM triggers a graceful drain and a clean exit.
+func TestSigtermDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "affinityd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-jobs", "1", "-queue", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Parse the advertised address, then collect the rest of the output.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("daemon never advertised its address")
+	}
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+			b.WriteByte('\n')
+		}
+		rest <- b.String()
+	}()
+
+	// Prove it serves, then terminate.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain stdout to EOF before calling Wait: Wait closes the pipe and
+	// would race the reader out of the final drain messages.
+	var out string
+	select {
+	case out = <-rest:
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+	}
+	if !strings.Contains(out, "drained, exiting") {
+		t.Errorf("shutdown output missing drain message:\n%s", out)
+	}
+}

@@ -36,10 +36,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/model"
-	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -62,8 +62,7 @@ type cli struct {
 	maxProduct float64
 	policy     string
 	window     float64
-	cpuProfile string
-	memProfile string
+	common     *cliflags.Common
 }
 
 func parse(args []string) (string, *cli, error) {
@@ -73,8 +72,8 @@ func parse(args []string) (string, *cli, error) {
 	cmd := args[0]
 	fs := flag.NewFlagSet("affinitysim "+cmd, flag.ContinueOnError)
 	c := &cli{opts: experiments.DefaultOptions()}
+	c.common = cliflags.Register(fs)
 	procs := fs.Int("procs", c.opts.Machine.Processors, "number of processors")
-	seed := fs.Uint64("seed", c.opts.Seed, "root random seed")
 	reps := fs.Int("reps", c.opts.Replications, "replications per cell")
 	budget := fs.Float64("budget", c.opts.MeasureBudget.SecondsF(), "Table-1 compute budget (seconds)")
 	fast := fs.Bool("fast", false, "scaled-down quick mode")
@@ -84,9 +83,6 @@ func parse(args []string) (string, *cli, error) {
 	fs.Float64Var(&c.maxProduct, "maxproduct", 4096, "largest speed*cache product")
 	fs.StringVar(&c.policy, "policy", "Dyn-Aff", "policy for the trace subcommand")
 	fs.Float64Var(&c.window, "window", 5, "trace window length (seconds)")
-	workers := fs.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
-	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
-	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args[1:]); err != nil {
 		return "", nil, err
 	}
@@ -94,10 +90,9 @@ func parse(args []string) (string, *cli, error) {
 		c.opts = experiments.FastOptions()
 	}
 	c.opts.Machine.Processors = *procs
-	c.opts.Seed = *seed
 	c.opts.Replications = *reps
 	c.opts.MeasureBudget = simtime.Seconds(*budget)
-	c.opts.Workers = *workers
+	c.common.Apply(&c.opts)
 	if err := c.opts.Validate(); err != nil {
 		return "", nil, err
 	}
@@ -109,7 +104,7 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(c.cpuProfile, c.memProfile)
+	stopProf, err := c.common.StartProfiling()
 	if err != nil {
 		return err
 	}

@@ -5,7 +5,9 @@
 // committed baseline future PRs diff against.
 //
 // The GOMAXPROCS suffix (-16) is stripped from names so baselines compare
-// across machines; the parallelism used is recorded once under "_meta".
+// across machines; the parallelism used, the git revision, and the engine
+// version are recorded once under "_meta" so a committed baseline says
+// exactly which code produced it.
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+
+	"repro/internal/version"
 )
 
 // Result is one benchmark's parsed measurements. Zero-valued fields were
@@ -70,7 +74,11 @@ func run(out string) error {
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	results["_meta"] = map[string]string{"gomaxprocs": procs}
+	results["_meta"] = map[string]string{
+		"gomaxprocs":     procs,
+		"git_sha":        version.GitSHA(),
+		"engine_version": version.Engine,
+	}
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err

@@ -20,24 +20,21 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/model"
-	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
 
 func main() {
+	common := cliflags.Register(flag.CommandLine)
 	procs := flag.Int("procs", 16, "number of processors")
 	reps := flag.Int("reps", 5, "replications per cell")
-	seed := flag.Uint64("seed", 1, "root random seed")
 	fast := flag.Bool("fast", false, "scaled-down quick mode")
 	maxProduct := flag.Float64("maxproduct", 4096, "largest speed*cache product")
 	csv := flag.Bool("csv", false, "emit sweep data as CSV instead of charts")
 	simulate := flag.Bool("simulate", false, "also simulate the scaled machines directly")
-	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -46,9 +43,8 @@ func main() {
 	}
 	opts.Machine.Processors = *procs
 	opts.Replications = *reps
-	opts.Seed = *seed
-	opts.Workers = *workers
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	common.Apply(&opts)
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "futuremodel:", err)
 		os.Exit(1)

@@ -17,28 +17,24 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/measure"
-	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/simtime"
 )
 
 func main() {
+	common := cliflags.Register(flag.CommandLine)
 	budget := flag.Float64("budget", 20, "per-run compute budget (seconds)")
-	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV")
 	detail := flag.Bool("detail", false, "print per-regime run details")
-	workers := flag.Int("workers", 0, "concurrent measurement cells (0 = all CPUs, 1 = sequential)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.MeasureBudget = simtime.Seconds(*budget)
-	opts.Seed = *seed
-	opts.Workers = *workers
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	common.Apply(&opts)
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
 		os.Exit(1)

@@ -14,23 +14,20 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
-	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
 
 func main() {
+	common := cliflags.Register(flag.CommandLine)
 	procs := flag.Int("procs", 16, "number of processors")
 	reps := flag.Int("reps", 5, "replications per cell")
-	seed := flag.Uint64("seed", 1, "root random seed")
 	mixNo := flag.Int("mix", 0, "restrict to one workload mix (1-6, 0 = all)")
 	fast := flag.Bool("fast", false, "scaled-down quick mode")
 	csv := flag.Bool("csv", false, "emit CSV")
 	timeshare := flag.Bool("timeshare", false, "include the time-sharing baseline")
-	workers := flag.Int("workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
@@ -39,9 +36,8 @@ func main() {
 	}
 	opts.Machine.Processors = *procs
 	opts.Replications = *reps
-	opts.Seed = *seed
-	opts.Workers = *workers
-	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	common.Apply(&opts)
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "policycompare:", err)
 		os.Exit(1)

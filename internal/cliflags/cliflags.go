@@ -1,0 +1,48 @@
+// Package cliflags factors the flag handling every campaign CLI shares —
+// -workers, -seed, -cpuprofile, -memprofile — so the five binaries
+// (affinitysim, measurepenalty, policycompare, futuremodel, affinityd)
+// define them once, with identical names, defaults, and help text.
+package cliflags
+
+import (
+	"flag"
+
+	"repro/internal/experiments"
+	"repro/internal/profiling"
+)
+
+// Common holds the shared flag values after parsing.
+type Common struct {
+	// Workers bounds concurrent simulation cells (0 = all CPUs,
+	// 1 = sequential). Results are identical for every worker count.
+	Workers int
+	// Seed is the campaign root random seed.
+	Seed uint64
+	// CPUProfile and MemProfile are pprof output paths ("" = off).
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared flags on fs and returns the value struct
+// they parse into.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Workers, "workers", 0, "concurrent simulation cells (0 = all CPUs, 1 = sequential)")
+	fs.Uint64Var(&c.Seed, "seed", 1, "root random seed")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	return c
+}
+
+// Apply copies the shared values onto an experiment campaign's options.
+func (c *Common) Apply(opts *experiments.Options) {
+	opts.Seed = c.Seed
+	opts.Workers = c.Workers
+}
+
+// StartProfiling begins any requested profiles. The returned stop
+// function must run before process exit (it finalizes profile files) and
+// its error reported.
+func (c *Common) StartProfiling() (stop func() error, err error) {
+	return profiling.Start(c.CPUProfile, c.MemProfile)
+}

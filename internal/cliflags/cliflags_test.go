@@ -1,0 +1,50 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 0 || c.Seed != 1 || c.CPUProfile != "" || c.MemProfile != "" {
+		t.Errorf("defaults: %+v", c)
+	}
+}
+
+func TestRegisterParseAndApply(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := Register(fs)
+	err := fs.Parse([]string{"-workers", "4", "-seed", "99", "-cpuprofile", "cpu.out", "-memprofile", "mem.out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 4 || c.Seed != 99 || c.CPUProfile != "cpu.out" || c.MemProfile != "mem.out" {
+		t.Errorf("parsed: %+v", c)
+	}
+	opts := experiments.DefaultOptions()
+	c.Apply(&opts)
+	if opts.Seed != 99 || opts.Workers != 4 {
+		t.Errorf("applied options: seed=%d workers=%d", opts.Seed, opts.Workers)
+	}
+	if err := opts.Validate(); err != nil {
+		t.Errorf("applied options invalid: %v", err)
+	}
+}
+
+func TestStartProfilingDisabled(t *testing.T) {
+	c := &Common{}
+	stop, err := c.StartProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop: %v", err)
+	}
+}

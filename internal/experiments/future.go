@@ -157,14 +157,20 @@ func FigureApp(mix workload.Mix) string {
 }
 
 // FutureCharts produces one chart per mix: the dynamic policies' relative
-// response times against the speed×cache product (Figures 8–13).
+// response times against the speed×cache product (Figures 8–13). It is
+// FutureChartsCtx without cancellation.
 func FutureCharts(cr *CompareResult, scenarios map[ScenarioKey]model.Scenario, policies []string, maxProduct float64) ([]report.Chart, error) {
+	return FutureChartsCtx(context.Background(), cr, scenarios, policies, maxProduct)
+}
+
+// FutureChartsCtx is FutureCharts with cancellation.
+func FutureChartsCtx(ctx context.Context, cr *CompareResult, scenarios map[ScenarioKey]model.Scenario, policies []string, maxProduct float64) ([]report.Chart, error) {
 	products := model.Products(maxProduct, 2)
 	// Sweep each mix's scenario on the campaign's worker pool; slots keep
 	// the charts in mix order, and figure numbers are assigned afterwards
 	// so skipped mixes do not leave gaps.
 	slots := make([]*report.Chart, len(cr.Mixes))
-	err := parallel.ForEach(context.Background(), cr.Opts.Workers, len(cr.Mixes), func(ctx context.Context, mi int) error {
+	err := parallel.ForEach(ctx, cr.Opts.Workers, len(cr.Mixes), func(ctx context.Context, mi int) error {
 		mix := cr.Mixes[mi]
 		key := ScenarioKey{Mix: mix.Number, App: FigureApp(mix)}
 		sc, ok := scenarios[key]

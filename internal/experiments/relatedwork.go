@@ -51,8 +51,15 @@ type RelatedWorkRow struct {
 // and without affinity, and space sharing with and without affinity — and
 // measures how much affinity helps in each domain. The paper's Section 8
 // explains why time-sharing studies found affinity important while this
-// paper did not; this experiment demonstrates the mechanism directly.
+// paper did not; this experiment demonstrates the mechanism directly. It
+// is RelatedWorkCtx without cancellation.
 func RelatedWork(opts Options) (*RelatedWorkResult, error) {
+	return RelatedWorkCtx(context.Background(), opts)
+}
+
+// RelatedWorkCtx is RelatedWork with cancellation: a cancelled ctx stops
+// scheduling new simulation cells promptly and returns ctx's error.
+func RelatedWorkCtx(ctx context.Context, opts Options) (*RelatedWorkResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,7 +71,7 @@ func RelatedWork(opts Options) (*RelatedWorkResult, error) {
 	// Fan the (policy, replication) cells out; idx = pi*R + rep.
 	R := opts.Replications
 	runs := make([]sched.Result, len(policies)*R)
-	err = parallel.ForEach(context.Background(), opts.Workers, len(runs), func(ctx context.Context, idx int) error {
+	err = parallel.ForEach(ctx, opts.Workers, len(runs), func(ctx context.Context, idx int) error {
 		rep := idx % R
 		polName := policies[idx/R]
 		seed := parallel.CellSeed(opts.Seed, uint64(rep))
@@ -157,8 +164,14 @@ type MPLPoint struct {
 // MPLSweep runs k identical GRAVITY jobs for k = 1..maxJobs under the given
 // policies — an extension exhibit showing how the dynamic policies' edge
 // over Equipartition varies with multiprogramming level (barrier dips
-// matter most when a partner job can absorb them).
+// matter most when a partner job can absorb them). It is MPLSweepCtx
+// without cancellation.
 func MPLSweep(opts Options, maxJobs int, policies []string) ([]MPLPoint, error) {
+	return MPLSweepCtx(context.Background(), opts, maxJobs, policies)
+}
+
+// MPLSweepCtx is MPLSweep with cancellation.
+func MPLSweepCtx(ctx context.Context, opts Options, maxJobs int, policies []string) ([]MPLPoint, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -169,7 +182,7 @@ func MPLSweep(opts Options, maxJobs int, policies []string) ([]MPLPoint, error) 
 	// idx = ((k-1)*len(policies) + pi)*R + rep.
 	R := opts.Replications
 	rts := make([]float64, maxJobs*len(policies)*R)
-	err := parallel.ForEach(context.Background(), opts.Workers, len(rts), func(ctx context.Context, idx int) error {
+	err := parallel.ForEach(ctx, opts.Workers, len(rts), func(ctx context.Context, idx int) error {
 		rep := idx % R
 		polName := policies[idx/R%len(policies)]
 		k := idx/R/len(policies) + 1
@@ -230,8 +243,13 @@ func MPLTable(points []MPLPoint, policies []string) report.Table {
 // arrive with exponential interarrival times (mean interarrival seconds),
 // cycling through the mix's application types, until njobs have arrived.
 // It returns the mean job response time per policy — an extension beyond
-// the paper's closed mixes.
+// the paper's closed mixes. It is OpenArrivalsCtx without cancellation.
 func OpenArrivals(opts Options, interarrival simtime.Duration, njobs int, policies []string) (map[string]float64, error) {
+	return OpenArrivalsCtx(context.Background(), opts, interarrival, njobs, policies)
+}
+
+// OpenArrivalsCtx is OpenArrivals with cancellation.
+func OpenArrivalsCtx(ctx context.Context, opts Options, interarrival simtime.Duration, njobs int, policies []string) (map[string]float64, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,7 +259,7 @@ func OpenArrivals(opts Options, interarrival simtime.Duration, njobs int, polici
 	// Fan the (policy, replication) cells out; idx = pi*R + rep.
 	R := opts.Replications
 	rts := make([]float64, len(policies)*R)
-	err := parallel.ForEach(context.Background(), opts.Workers, len(rts), func(ctx context.Context, idx int) error {
+	err := parallel.ForEach(ctx, opts.Workers, len(rts), func(ctx context.Context, idx int) error {
 		rep := idx % R
 		polName := policies[idx/R]
 		seed := parallel.CellSeed(opts.Seed, uint64(rep))

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// golden is a nested value exercising every JSON shape the campaign
+// results use: maps (whose Go iteration order varies run to run), slices,
+// strings needing escapes, integers, and floats with shortest-roundtrip
+// formatting.
+type goldenInner struct {
+	Name  string             `json:"name"`
+	Rel   map[string]float64 `json:"rel"`
+	Count int                `json:"count"`
+}
+
+func goldenValue() map[string]any {
+	return map[string]any{
+		"zeta":  []float64{1, 0.1, 2.5, 1e21, 1e-7, math.MaxFloat64},
+		"alpha": "with \"quotes\" and\nnewline",
+		"mid": goldenInner{
+			Name:  "wkload5 - GRAVITY",
+			Rel:   map[string]float64{"Dyn-Aff": 0.931, "Dynamic": 1.004, "Equipartition": 1},
+			Count: 42,
+		},
+		"cells": map[string]map[string]int{
+			"400ms": {"MVA": 121, "MATRIX": 45, "GRAVITY": 203},
+			"25ms":  {"MVA": 14, "MATRIX": 9, "GRAVITY": 33},
+		},
+		"empty_obj": map[string]int{},
+		"empty_arr": []int{},
+		"null":      nil,
+		"flag":      true,
+	}
+}
+
+// goldenBytes is the one true canonical encoding of goldenValue. If this
+// test fails after an intentional encoding change, the engine version
+// (internal/version.Engine) must be bumped — cached results keyed under
+// the old encoding are no longer addressable.
+const goldenBytes = `{"alpha":"with \"quotes\" and\nnewline",` +
+	`"cells":{"25ms":{"GRAVITY":33,"MATRIX":9,"MVA":14},"400ms":{"GRAVITY":203,"MATRIX":45,"MVA":121}},` +
+	`"empty_arr":[],"empty_obj":{},"flag":true,` +
+	`"mid":{"count":42,"name":"wkload5 - GRAVITY","rel":{"Dyn-Aff":0.931,"Dynamic":1.004,"Equipartition":1}},` +
+	`"null":null,` +
+	`"zeta":[1,0.1,2.5,1e+21,1e-7,1.7976931348623157e+308]}`
+
+func TestCanonicalJSONGolden(t *testing.T) {
+	got, err := CanonicalJSON(goldenValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goldenBytes {
+		t.Errorf("canonical encoding drifted:\n got: %s\nwant: %s", got, goldenBytes)
+	}
+}
+
+// TestCanonicalJSONStableAcrossIterations re-encodes values containing
+// maps many times; Go randomizes map iteration order per run and per
+// range statement, so any order-dependence in the encoder would flake
+// here quickly.
+func TestCanonicalJSONStableAcrossIterations(t *testing.T) {
+	first, err := CanonicalJSON(goldenValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		// Rebuild the value each time: literal construction order and
+		// map internal layout must not matter either.
+		got, err := CanonicalJSON(goldenValue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, got) {
+			t.Fatalf("iteration %d produced different bytes:\n got: %s\nwas: %s", i, got, first)
+		}
+	}
+}
+
+// TestCanonicalJSONSortsStructlessMaps checks key ordering is bytewise,
+// including keys that differ only in case or length.
+func TestCanonicalJSONKeyOrder(t *testing.T) {
+	got, err := CanonicalJSON(map[string]int{"b": 2, "B": 1, "ab": 4, "a": 3, "": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"":0,"B":1,"a":3,"ab":4,"b":2}`
+	if string(got) != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestCanonicalJSONNumbersVerbatim checks number literals match plain
+// encoding/json output exactly — the guarantee that a canonical body and
+// a streamed body of the same value cannot disagree on float formatting.
+func TestCanonicalJSONNumbersVerbatim(t *testing.T) {
+	vals := []float64{0, -0, 1.0 / 3.0, 6.02e23, 5e-324, -42.125, 1<<53 - 1}
+	got, err := CanonicalJSON(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[0,0,0.3333333333333333,6.02e+23,5e-324,-42.125,9007199254740991]`
+	if string(got) != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestCanonicalJSONMarshalError(t *testing.T) {
+	if _, err := CanonicalJSON(math.NaN()); err == nil {
+		t.Error("expected an error for NaN, got none")
+	}
+	if _, err := CanonicalJSON(make(chan int)); err == nil {
+		t.Error("expected an error for chan, got none")
+	}
+}

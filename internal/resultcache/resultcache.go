@@ -1,0 +1,141 @@
+// Package resultcache memoizes completed campaign results: a
+// content-addressed, byte-budgeted LRU cache from canonical request
+// identity to the exact response body served for it.
+//
+// The content address is a SHA-256 over (campaign kind, canonical
+// parameter encoding, engine version). Because campaign results are
+// deterministic — bitwise identical for a given (kind, params, seed) at
+// any worker count — a hit can serve the stored bytes verbatim and the
+// client cannot distinguish it from a fresh run. The engine version is
+// folded into the address so a semantics-changing build (see
+// internal/version) can never serve a stale body; no explicit
+// invalidation pass is needed.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Key derives the content address for one campaign execution. params must
+// be the canonical encoding (report.CanonicalJSON) of the *normalized*
+// request parameters with Workers zeroed — normalization makes
+// semantically identical requests collide, and Workers cannot affect
+// result bytes.
+func Key(kind string, params []byte, engineVersion string) string {
+	h := sha256.New()
+	// Length-prefix framing so ("ab","c") and ("a","bc") cannot collide.
+	for _, part := range [][]byte{[]byte(kind), params, []byte(engineVersion)} {
+		var n [8]byte
+		ln := len(part)
+		for i := 0; i < 8; i++ {
+			n[i] = byte(ln >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write(part)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Entries   int
+	Bytes     int64
+	Budget    int64
+	Evictions uint64
+}
+
+// Cache is a thread-safe LRU over immutable byte values with a total byte
+// budget. Values are stored and returned by reference: callers must treat
+// both inserted and returned slices as read-only (the service serves them
+// to many responses concurrently).
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New builds a cache holding at most budget bytes of values (keys and
+// bookkeeping are not counted). A non-positive budget disables storage:
+// every Get misses and Put is a no-op, which keeps the serving path
+// uniform for cacheless deployments.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key, marking it most recently used.
+// The returned slice is shared and must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting least-recently-used entries until the
+// byte budget holds. A value larger than the whole budget is not stored.
+// Re-putting an existing key refreshes its recency but keeps the original
+// bytes: results are content-addressed, so a second body for the same key
+// is byte-identical by construction and there is nothing to replace.
+func (c *Cache) Put(key string, val []byte) {
+	if c.budget <= 0 || int64(len(val)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.used+int64(len(val)) > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.used -= int64(len(e.val))
+		c.evictions++
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.used += int64(len(val))
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   len(c.items),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Evictions: c.evictions,
+	}
+}

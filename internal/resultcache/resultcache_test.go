@@ -1,0 +1,110 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyFraming(t *testing.T) {
+	// Distinct (kind, params, version) splits of the same concatenated
+	// bytes must produce distinct addresses.
+	a := Key("ab", []byte("c"), "v")
+	b := Key("a", []byte("bc"), "v")
+	if a == b {
+		t.Error("length framing failed: split-point collision")
+	}
+	if Key("t", []byte("p"), "1") == Key("t", []byte("p"), "2") {
+		t.Error("engine version does not affect the key")
+	}
+	if Key("t", []byte("p"), "1") != Key("t", []byte("p"), "1") {
+		t.Error("key not deterministic")
+	}
+	if len(a) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("body"))
+	got, ok := c.Get("k")
+	if !ok || !bytes.Equal(got, []byte("body")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(10)
+	c.Put("a", []byte("aaaa")) // 4
+	c.Put("b", []byte("bbbb")) // 8
+	c.Get("a")                 // a now most recent
+	c.Put("c", []byte("cccc")) // 12 > 10: evict b (LRU), not a
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 8 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestCacheOversizedAndZeroBudget(t *testing.T) {
+	c := New(4)
+	c.Put("big", []byte("12345")) // larger than the whole budget
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversized value was stored")
+	}
+	z := New(0)
+	z.Put("k", []byte("v"))
+	if _, ok := z.Get("k"); ok {
+		t.Error("zero-budget cache stored a value")
+	}
+}
+
+func TestCacheRePutKeepsOriginal(t *testing.T) {
+	c := New(100)
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("XXXXX"))
+	got, _ := c.Get("k")
+	if !bytes.Equal(got, []byte("first")) {
+		t.Errorf("re-put replaced content-addressed bytes: %q", got)
+	}
+	if st := c.Stats(); st.Bytes != 5 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCacheConcurrent exercises the lock under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(1 << 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", i%17)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && !bytes.Equal(v, []byte(k)) {
+					t.Errorf("corrupt value %q for %q", v, k)
+				}
+				c.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the per-campaign
+// latency histogram. Campaigns span four orders of magnitude — a fast
+// characterize takes milliseconds, a paper-scale future sweep minutes —
+// so the buckets are roughly quartic.
+var latencyBuckets = []float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600}
+
+// histogram is a fixed-bucket latency histogram (Prometheus semantics:
+// cumulative buckets plus sum and count).
+type histogram struct {
+	counts [9]uint64 // len(latencyBuckets)+1; last = +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(sec float64) {
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += sec
+	h.total++
+}
+
+// metrics aggregates the serving counters exposed at /metrics.
+type metrics struct {
+	server *Server
+
+	submitted atomic.Uint64 // POST /v1/campaigns accepted for processing
+	deduped   atomic.Uint64 // submissions coalesced onto an in-flight job
+	rejected  atomic.Uint64 // 429s
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	inflight  atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*histogram // by campaign kind
+}
+
+func newMetrics(s *Server) *metrics {
+	return &metrics{server: s, latency: make(map[string]*histogram)}
+}
+
+// observe records one successful campaign execution's wall time.
+func (m *metrics) observe(kind string, d time.Duration) {
+	m.mu.Lock()
+	h := m.latency[kind]
+	if h == nil {
+		h = &histogram{}
+		m.latency[kind] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// serve renders the Prometheus text exposition format. Output ordering is
+// deterministic (kinds sorted) so scrapes and tests are stable.
+func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("affinityd_queue_depth", "Jobs waiting in the admission queue.", len(m.server.queue))
+	gauge("affinityd_jobs_inflight", "Campaigns currently executing.", m.inflight.Load())
+	counter("affinityd_jobs_submitted_total", "Campaign submissions accepted for processing.", m.submitted.Load())
+	counter("affinityd_jobs_deduped_total", "Submissions coalesced onto an identical in-flight job.", m.deduped.Load())
+	counter("affinityd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full.", m.rejected.Load())
+	counter("affinityd_jobs_completed_total", "Campaigns that finished successfully.", m.completed.Load())
+	counter("affinityd_jobs_failed_total", "Campaigns that finished with an error.", m.failed.Load())
+	counter("affinityd_jobs_canceled_total", "Campaigns canceled before completion.", m.canceled.Load())
+
+	cs := m.server.cache.Stats()
+	counter("affinityd_cache_hits_total", "Result-cache hits.", cs.Hits)
+	counter("affinityd_cache_misses_total", "Result-cache misses.", cs.Misses)
+	counter("affinityd_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
+	gauge("affinityd_cache_entries", "Result-cache resident entries.", cs.Entries)
+	gauge("affinityd_cache_bytes", "Result-cache resident bytes.", cs.Bytes)
+	gauge("affinityd_cache_budget_bytes", "Result-cache byte budget.", cs.Budget)
+
+	m.mu.Lock()
+	kinds := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	if len(kinds) > 0 {
+		b.WriteString("# HELP affinityd_campaign_latency_seconds Wall time of successful campaign executions.\n" +
+			"# TYPE affinityd_campaign_latency_seconds histogram\n")
+	}
+	for _, k := range kinds {
+		h := m.latency[k]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "affinityd_campaign_latency_seconds_bucket{kind=%q,le=%q} %d\n", k, trimFloat(ub), cum)
+		}
+		fmt.Fprintf(&b, "affinityd_campaign_latency_seconds_bucket{kind=%q,le=\"+Inf\"} %d\n", k, h.total)
+		fmt.Fprintf(&b, "affinityd_campaign_latency_seconds_sum{kind=%q} %g\n", k, h.sum)
+		fmt.Fprintf(&b, "affinityd_campaign_latency_seconds_count{kind=%q} %d\n", k, h.total)
+	}
+	m.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,618 @@
+// Package service is the serving layer of the repo: a long-running
+// HTTP/JSON front end over the campaign registry
+// (internal/experiments.Campaigns) with the four properties a
+// production deployment needs and a batch CLI does not:
+//
+//   - Admission control. Jobs run on a fixed pool of worker goroutines
+//     fed by a bounded queue; when the queue is full a request is
+//     rejected immediately with 429 and a Retry-After hint, so overload
+//     degrades into fast rejections rather than unbounded memory growth
+//     and collapsing latency.
+//   - Deduplication (singleflight). Identical requests that arrive while
+//     the first is still running attach to the in-flight job instead of
+//     enqueuing duplicate simulations.
+//   - Memoization. Completed results live in a content-addressed LRU
+//     cache (internal/resultcache) keyed by the canonical hash of
+//     (kind, normalized params, engine version). Campaigns are
+//     deterministic, so a hit serves the stored body verbatim —
+//     bitwise identical to a fresh run, at zero simulation cost.
+//   - Cooperative cancellation. Every job carries a context; cancelling
+//     it (client disconnect with no other waiters, DELETE /v1/jobs/{id},
+//     or server shutdown) stops the campaign from scheduling new
+//     simulation cells promptly.
+//
+// API:
+//
+//	POST   /v1/campaigns        submit {kind, params, async}; sync by default
+//	GET    /v1/campaigns        list campaign kinds
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result completed job's body
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text exposition
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/resultcache"
+	"repro/internal/version"
+)
+
+// Runner executes one campaign; the default dispatches through the
+// experiments registry. Tests substitute controllable runners.
+type Runner func(ctx context.Context, kind string, p experiments.CampaignParams) (any, error)
+
+func registryRunner(ctx context.Context, kind string, p experiments.CampaignParams) (any, error) {
+	c, ok := experiments.CampaignByKind(kind)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown campaign kind %q", kind)
+	}
+	return c.Run(ctx, p)
+}
+
+// Config parameterizes a Server. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run (default 16).
+	// Jobs already running do not count against it.
+	QueueDepth int
+	// JobWorkers is the number of campaigns run concurrently (default 2).
+	// Each campaign additionally fans its cells out over CellWorkers.
+	JobWorkers int
+	// CacheBytes is the result cache's byte budget (default 64 MiB).
+	CacheBytes int64
+	// CellWorkers is the per-campaign cell concurrency applied when a
+	// request leaves params.workers at 0 (0 = let the campaign use all
+	// CPUs).
+	CellWorkers int
+	// DefaultSeed overrides the registry's default root seed for requests
+	// that omit params.seed (0 = keep the registry default).
+	DefaultSeed uint64
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+	// Runner substitutes the campaign executor (tests); nil uses the
+	// experiments registry.
+	Runner Runner
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = registryRunner
+	}
+	return c
+}
+
+// jobStatus is a job's lifecycle state.
+type jobStatus string
+
+const (
+	statusQueued   jobStatus = "queued"
+	statusRunning  jobStatus = "running"
+	statusDone     jobStatus = "done"
+	statusFailed   jobStatus = "failed"
+	statusCanceled jobStatus = "canceled"
+)
+
+// job is one admitted campaign execution. Identical concurrent requests
+// share one job (singleflight on the cache key).
+type job struct {
+	id     string
+	kind   string
+	key    string
+	params experiments.CampaignParams
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// waiters counts synchronous requests blocked on this job; when the
+	// last one disconnects the job is cancelled (nobody wants the bits).
+	// Async submissions hold one permanent waiter so polling clients keep
+	// their job alive.
+	waiters atomic.Int64
+
+	mu       sync.Mutex
+	status   jobStatus
+	body     []byte
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// setStatus transitions the job under its lock; terminal states close
+// done exactly once.
+func (j *job) setTerminal(st jobStatus, body []byte, errMsg string, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == statusDone || j.status == statusFailed || j.status == statusCanceled {
+		return false
+	}
+	j.status, j.body, j.errMsg, j.finished = st, body, errMsg, now
+	close(j.done)
+	return true
+}
+
+// view is a consistent snapshot for status responses.
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:       j.id,
+		Kind:     j.kind,
+		Status:   string(j.status),
+		CacheKey: j.key,
+		Error:    j.errMsg,
+		Created:  j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.status == statusDone {
+		v.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return v
+}
+
+// jobView is the wire form of a job's status.
+type jobView struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Status    string `json:"status"`
+	CacheKey  string `json:"cache_key"`
+	Error     string `json:"error,omitempty"`
+	Created   string `json:"created"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// Server is the affinityd serving core, independent of any listener so
+// tests can drive it through httptest or a real socket alike.
+type Server struct {
+	cfg     Config
+	cache   *resultcache.Cache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *job
+	jobs     map[string]*job // by id, all ever admitted
+	inflight map[string]*job // by cache key, queued or running only
+	jobSeq   uint64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workerWG   sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      resultcache.New(cfg.CacheBytes),
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	s.metrics = newMetrics(s)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics.serve)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (the smoke gate reads its counters).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// campaignRequest is the POST /v1/campaigns body.
+type campaignRequest struct {
+	Kind   string                     `json:"kind"`
+	Params experiments.CampaignParams `json:"params"`
+	// Async requests 202 + a job id for polling instead of blocking for
+	// the result body.
+	Async bool `json:"async,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	camp, ok := experiments.CampaignByKind(req.Kind)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown campaign kind %q", req.Kind))
+		return
+	}
+	if req.Params.Seed == 0 && s.cfg.DefaultSeed != 0 {
+		req.Params.Seed = s.cfg.DefaultSeed
+	}
+	params, err := camp.Normalize(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if params.Workers == 0 {
+		params.Workers = s.cfg.CellWorkers
+	}
+	key, err := cacheKey(req.Kind, params)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.submitted.Add(1)
+
+	// Memoized result: serve the stored bytes verbatim.
+	if body, ok := s.cache.Get(key); ok {
+		writeBody(w, body, "hit", key)
+		return
+	}
+
+	j, admitted, err := s.admit(req.Kind, key, params)
+	if err != nil {
+		switch err {
+		case errDraining:
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		case errQueueFull:
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+			writeError(w, http.StatusTooManyRequests, "campaign queue is full; retry later")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	if !admitted {
+		s.metrics.deduped.Add(1)
+	}
+
+	if req.Async {
+		// A polling client holds a permanent waiter: abandoning the poll
+		// URL must not cancel the job under other clients.
+		j.waiters.Add(1)
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+
+	j.waiters.Add(1)
+	defer func() {
+		if j.waiters.Add(-1) == 0 {
+			// Last interested client is gone; stop simulating.
+			select {
+			case <-j.done:
+			default:
+				j.cancel()
+			}
+		}
+	}()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	j.mu.Lock()
+	st, body, errMsg := j.status, j.body, j.errMsg
+	j.mu.Unlock()
+	switch st {
+	case statusDone:
+		writeBody(w, body, "miss", key)
+	case statusCanceled:
+		writeError(w, http.StatusConflict, "job canceled: "+errMsg)
+	default:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	}
+}
+
+// cacheKey derives the content address of one normalized request.
+// Workers is zeroed first: results are bitwise identical at any worker
+// count, so concurrency must not fork the cache.
+func cacheKey(kind string, params experiments.CampaignParams) (string, error) {
+	params.Workers = 0
+	canon, err := report.CanonicalJSON(params)
+	if err != nil {
+		return "", err
+	}
+	return resultcache.Key(kind, canon, version.Engine), nil
+}
+
+var (
+	errDraining  = fmt.Errorf("service: draining")
+	errQueueFull = fmt.Errorf("service: queue full")
+)
+
+// admit returns the in-flight job for key (singleflight) or enqueues a
+// new one. admitted reports whether a new job was created.
+func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*job, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, errDraining
+	}
+	if j, ok := s.inflight[key]; ok {
+		return j, false, nil
+	}
+	s.jobSeq++
+	j := &job{
+		id:      fmt.Sprintf("j%08d", s.jobSeq),
+		kind:    kind,
+		key:     key,
+		params:  params,
+		status:  statusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	select {
+	case s.queue <- j:
+	default:
+		return nil, false, errQueueFull
+	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	return j, true, nil
+}
+
+// finish records a job's terminal state and clears its singleflight slot.
+func (s *Server) finish(j *job, st jobStatus, body []byte, errMsg string) {
+	if !j.setTerminal(st, body, errMsg, time.Now()) {
+		return
+	}
+	j.cancel() // release the context's resources
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	switch st {
+	case statusDone:
+		s.metrics.completed.Add(1)
+	case statusFailed:
+		s.metrics.failed.Add(1)
+	case statusCanceled:
+		s.metrics.canceled.Add(1)
+	}
+}
+
+// worker executes queued jobs until the queue closes at shutdown.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		if j.ctx.Err() != nil {
+			s.finish(j, statusCanceled, nil, "canceled while queued")
+			continue
+		}
+		j.mu.Lock()
+		j.status = statusRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+		s.metrics.inflight.Add(1)
+		res, err := s.cfg.Runner(j.ctx, j.kind, j.params)
+		elapsed := time.Since(j.started)
+		s.metrics.inflight.Add(-1)
+		switch {
+		case j.ctx.Err() != nil:
+			s.finish(j, statusCanceled, nil, j.ctx.Err().Error())
+		case err != nil:
+			s.finish(j, statusFailed, nil, err.Error())
+		default:
+			body, encErr := report.CanonicalJSON(res)
+			if encErr != nil {
+				s.finish(j, statusFailed, nil, "encode result: "+encErr.Error())
+				break
+			}
+			s.cache.Put(j.key, body)
+			s.metrics.observe(j.kind, elapsed)
+			s.finish(j, statusDone, body, "")
+		}
+	}
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	type kindView struct {
+		Kind        string `json:"kind"`
+		Description string `json:"description"`
+	}
+	var out []kindView
+	for _, c := range experiments.Campaigns() {
+		out = append(out, kindView{Kind: c.Kind, Description: c.Description})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out, "engine_version": version.Engine})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+	}
+	return j
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobByID(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.view())
+	}
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	st, body, errMsg := j.status, j.body, j.errMsg
+	j.mu.Unlock()
+	switch st {
+	case statusDone:
+		writeBody(w, body, "job", j.key)
+	case statusFailed:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	case statusCanceled:
+		writeError(w, http.StatusConflict, "job canceled: "+errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job not finished: "+string(st))
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	// A queued job can be finished synchronously; a running one will be
+	// reaped by its worker when the campaign observes the cancellation.
+	j.mu.Lock()
+	queued := j.status == statusQueued
+	j.mu.Unlock()
+	if queued {
+		s.finish(j, statusCanceled, nil, "canceled by request")
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{
+		"status":         status,
+		"engine_version": version.Engine,
+		"git_sha":        version.GitSHA(),
+	})
+}
+
+// Shutdown gracefully stops the server core: new submissions are refused,
+// queued jobs are cancelled, and in-flight jobs drain to completion. If
+// ctx expires first, in-flight jobs are cancelled too and ctx's error is
+// returned. The HTTP listener (if any) must be shut down by the caller —
+// typically http.Server.Shutdown after this returns, so final status
+// polls still get answers while the core drains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	var queued []*job
+	if !s.draining {
+		s.draining = true
+		// Pull everything still queued off the channel, then close it to
+		// release the workers once in-flight jobs finish.
+	drain:
+		for {
+			select {
+			case j := <-s.queue:
+				queued = append(queued, j)
+			default:
+				break drain
+			}
+		}
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.cancel()
+		s.finish(j, statusCanceled, nil, "canceled at shutdown")
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeBody serves a campaign result body. source labels how it was
+// obtained: "hit" (result cache), "miss" (freshly simulated), "job"
+// (polled result endpoint).
+func writeBody(w http.ResponseWriter, body []byte, source, key string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source)
+	w.Header().Set("X-Cache-Key", key)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}

@@ -1,0 +1,453 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// testEnv wires a Server with a controllable runner behind an HTTP
+// listener.
+type testEnv struct {
+	t   *testing.T
+	s   *Server
+	ts  *httptest.Server
+	url string
+}
+
+func newEnv(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return &testEnv{t: t, s: s, ts: ts, url: ts.URL}
+}
+
+// submit POSTs a campaign request and returns the response.
+func (e *testEnv) submit(body string) *http.Response {
+	e.t.Helper()
+	resp, err := http.Post(e.url+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// countingRunner returns a deterministic result and counts executions.
+func countingRunner(runs *atomic.Int64, delay time.Duration) Runner {
+	return func(ctx context.Context, kind string, p experiments.CampaignParams) (any, error) {
+		runs.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return map[string]any{"kind": kind, "seed": p.Seed, "payload": "deterministic"}, nil
+	}
+}
+
+// gateRunner blocks until released (or cancelled), reporting starts.
+type gateRunner struct {
+	started chan string
+	release chan struct{}
+}
+
+func newGateRunner() *gateRunner {
+	return &gateRunner{started: make(chan string, 16), release: make(chan struct{})}
+}
+
+func (g *gateRunner) run(ctx context.Context, kind string, p experiments.CampaignParams) (any, error) {
+	g.started <- kind
+	select {
+	case <-g.release:
+		return map[string]any{"seed": p.Seed}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func TestSubmitCacheHitByteIdentical(t *testing.T) {
+	var runs atomic.Int64
+	e := newEnv(t, Config{Runner: countingRunner(&runs, 0)})
+
+	req := `{"kind":"table1","params":{"fast":true,"budget_sec":0.5}}`
+	r1 := e.submit(req)
+	body1 := readAll(t, r1)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %d %s", r1.StatusCode, body1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first submit X-Cache = %q, want miss", got)
+	}
+
+	r2 := e.submit(req)
+	body2 := readAll(t, r2)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second submit: %d %s", r2.StatusCode, body2)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("second submit X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("bodies differ:\n%s\n%s", body1, body2)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("runner executed %d times, want 1", n)
+	}
+	if st := e.s.Cache().Stats(); st.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.Hits)
+	}
+
+	// Equivalent spelling (explicit defaults) must also hit.
+	r3 := e.submit(`{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"seed":1,"workers":3}}`)
+	body3 := readAll(t, r3)
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("equivalent request X-Cache = %q, want hit (body %s)", got, body3)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Errorf("equivalent request body differs")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newEnv(t, Config{Runner: countingRunner(new(atomic.Int64), 0)})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"kind":"nonsense"}`, http.StatusBadRequest},
+		{`{"kind":"compare","params":{"mix":42}}`, http.StatusBadRequest},
+		{`{"kind":"compare","params":{"policies":["NoSuch"]}}`, http.StatusBadRequest},
+		{`{"kind":"table1","stray":true}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := e.submit(tc.body)
+		b := readAll(t, resp)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d (%s), want %d", tc.body, resp.StatusCode, b, tc.want)
+		}
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run, JobWorkers: 4, QueueDepth: 8})
+
+	req := `{"kind":"characterize","params":{"seed":7}}`
+	const clients = 5
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := e.submit(req)
+			bodies[i] = readAll(e.t, resp)
+		}(i)
+	}
+	<-g.started // exactly one execution begins
+	// No second start may arrive; give a dedup failure a moment to show.
+	select {
+	case k := <-g.started:
+		t.Errorf("second runner execution started (%s); singleflight failed", k)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(g.release)
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("client %d got different bytes", i)
+		}
+	}
+}
+
+func TestQueueFull429(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run, JobWorkers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
+
+	// Occupy the single worker.
+	go e.submit(`{"kind":"characterize","params":{"seed":1}}`)
+	<-g.started
+	// Fill the single queue slot (async so we don't block).
+	r2 := e.submit(`{"kind":"characterize","params":{"seed":2},"async":true}`)
+	readAll(t, r2)
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: %d", r2.StatusCode)
+	}
+	// Third distinct request must bounce.
+	r3 := e.submit(`{"kind":"characterize","params":{"seed":3}}`)
+	b3 := readAll(t, r3)
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: got %d (%s), want 429", r3.StatusCode, b3)
+	}
+	if ra := r3.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want 3", ra)
+	}
+	// An identical duplicate of the RUNNING job still dedups — no queue
+	// slot needed, no 429.
+	r4 := e.submit(`{"kind":"characterize","params":{"seed":1},"async":true}`)
+	readAll(t, r4)
+	if r4.StatusCode != http.StatusAccepted {
+		t.Errorf("dedup-during-overload: got %d, want 202", r4.StatusCode)
+	}
+	close(g.release)
+}
+
+func TestAsyncLifecycleAndResult(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run})
+
+	resp := e.submit(`{"kind":"relatedwork","params":{"seed":9},"async":true}`)
+	var v jobView
+	if err := json.Unmarshal(readAll(t, resp), &v); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("async submit: %d %+v", resp.StatusCode, v)
+	}
+	<-g.started
+
+	get := func(path string) (*http.Response, []byte) {
+		r, err := http.Get(e.url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, readAll(t, r)
+	}
+	r, b := get("/v1/jobs/" + v.ID)
+	var running jobView
+	json.Unmarshal(b, &running)
+	if r.StatusCode != 200 || running.Status != "running" {
+		t.Fatalf("status while running: %d %+v", r.StatusCode, running)
+	}
+	// Result before completion: 409.
+	if r, _ := get("/v1/jobs/" + v.ID + "/result"); r.StatusCode != http.StatusConflict {
+		t.Errorf("early result fetch: got %d, want 409", r.StatusCode)
+	}
+	close(g.release)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var done jobView
+	for time.Now().Before(deadline) {
+		_, b := get("/v1/jobs/" + v.ID)
+		json.Unmarshal(b, &done)
+		if done.Status == "done" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done.Status != "done" || done.ResultURL == "" {
+		t.Fatalf("job never completed: %+v", done)
+	}
+	r, body := get(done.ResultURL)
+	if r.StatusCode != 200 || !strings.Contains(string(body), `"seed":9`) {
+		t.Errorf("result fetch: %d %s", r.StatusCode, body)
+	}
+	// Unknown job id.
+	if r, _ := get("/v1/jobs/zzz"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: got %d, want 404", r.StatusCode)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run})
+
+	resp := e.submit(`{"kind":"compare","params":{"seed":4},"async":true}`)
+	var v jobView
+	json.Unmarshal(readAll(t, resp), &v)
+	<-g.started
+
+	req, _ := http.NewRequest(http.MethodDelete, e.url+"/v1/jobs/"+v.ID, nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, r)
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", r.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rs, err := http.Get(e.url + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var now jobView
+		json.Unmarshal(readAll(t, rs), &now)
+		if now.Status == "canceled" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job never reached canceled")
+}
+
+// TestDisconnectCancelsSoleWaiter: a synchronous client that goes away is
+// the only party interested; the campaign must stop.
+func TestDisconnectCancelsSoleWaiter(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, e.url+"/v1/campaigns",
+		strings.NewReader(`{"kind":"future","params":{"seed":6}}`))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-g.started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected client-side context error")
+	}
+	// The runner observes ctx cancellation and the job lands in canceled.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(e.url + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, r)
+		if strings.Contains(string(b), `"canceled"`) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("abandoned job never canceled")
+}
+
+func TestShutdownDrainsInflightCancelsQueued(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Runner: g.run, JobWorkers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// One running...
+	r1 := post(`{"kind":"characterize","params":{"seed":1},"async":true}`)
+	var running jobView
+	json.Unmarshal(readAll(t, r1), &running)
+	<-g.started
+	// ...and one queued.
+	r2 := post(`{"kind":"characterize","params":{"seed":2},"async":true}`)
+	var queued jobView
+	json.Unmarshal(readAll(t, r2), &queued)
+
+	// Release the in-flight job just after shutdown starts draining.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(g.release)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	status := func(id string) string {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		json.Unmarshal(readAll(t, r), &v)
+		return v.Status
+	}
+	if st := status(running.ID); st != "done" {
+		t.Errorf("in-flight job drained to %q, want done", st)
+	}
+	if st := status(queued.ID); st != "canceled" {
+		t.Errorf("queued job at shutdown: %q, want canceled", st)
+	}
+	// New submissions are refused while draining/drained.
+	r3 := post(`{"kind":"characterize","params":{"seed":3}}`)
+	readAll(t, r3)
+	if r3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown submit: got %d, want 503", r3.StatusCode)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	var runs atomic.Int64
+	e := newEnv(t, Config{Runner: countingRunner(&runs, 0)})
+
+	r, err := http.Get(e.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := readAll(t, r)
+	if r.StatusCode != 200 || !strings.Contains(string(hb), `"ok"`) {
+		t.Fatalf("healthz: %d %s", r.StatusCode, hb)
+	}
+
+	// Run a campaign twice: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		readAll(t, e.submit(`{"kind":"table1","params":{"fast":true}}`))
+	}
+	r, err = http.Get(e.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := string(readAll(t, r))
+	for _, want := range []string{
+		"affinityd_queue_depth 0",
+		"affinityd_jobs_submitted_total 2",
+		"affinityd_jobs_completed_total 1",
+		"affinityd_cache_hits_total 1",
+		"affinityd_cache_misses_total 1",
+		`affinityd_campaign_latency_seconds_count{kind="table1"} 1`,
+	} {
+		if !strings.Contains(mb, want) {
+			t.Errorf("metrics missing %q\n%s", want, mb)
+		}
+	}
+
+	rc, err := http.Get(e.url + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := string(readAll(t, rc))
+	for _, kind := range []string{"characterize", "table1", "compare", "future", "futuresim", "relatedwork"} {
+		if !strings.Contains(cb, fmt.Sprintf("%q", kind)) {
+			t.Errorf("campaign listing missing %q: %s", kind, cb)
+		}
+	}
+}

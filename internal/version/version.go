@@ -1,0 +1,43 @@
+// Package version identifies the simulation engine build. The engine
+// version participates in every result-cache key (internal/resultcache):
+// bumping it invalidates all memoized campaign results, which is exactly
+// what must happen when a change alters simulation semantics. The git
+// revision, read from the binary's embedded build info, makes cached
+// service results and committed perf baselines attributable to a build.
+package version
+
+import "runtime/debug"
+
+// Engine is the simulation engine's semantic version. Bump it whenever a
+// change can alter any campaign's output bits (simulation semantics, seed
+// derivation, result encoding) — cached results from older engines must
+// not be served as current. Pure performance work that keeps outputs
+// bitwise identical (the determinism tests enforce this) does not bump it.
+const Engine = "3"
+
+// GitSHA returns the VCS revision embedded by the Go toolchain, with a
+// "-dirty" suffix when the working tree had uncommitted changes, or
+// "unknown" outside a VCS build (e.g. `go test`, or builds from a source
+// tarball).
+func GitSHA() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	sha, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if sha == "" {
+		return "unknown"
+	}
+	if dirty {
+		return sha + "-dirty"
+	}
+	return sha
+}

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	affinityd [-addr HOST:PORT] [-queue N] [-jobs N] [-cache-mb MB]
-//	          [-retry-after SEC] [-workers N] [-seed N]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-retry-after SEC] [-job-ttl-sec SEC] [-max-jobs N]
+//	          [-workers N] [-seed N] [-cpuprofile FILE] [-memprofile FILE]
 //
 //	-addr        listen address (default 127.0.0.1:8642; use :0 for a
 //	             random port, printed on startup)
@@ -16,6 +16,10 @@
 //	-jobs        campaigns executed concurrently (default 2)
 //	-cache-mb    result-cache byte budget in MiB (default 64)
 //	-retry-after Retry-After hint on 429 responses, seconds (default 2)
+//	-job-ttl-sec seconds a finished job's status/result stay pollable at
+//	             /v1/jobs before eviction (default 300); evicted ids
+//	             return 404, but the result body stays in the cache
+//	-max-jobs    retained finished jobs regardless of age (default 256)
 //	-workers     per-campaign simulation-cell concurrency applied when a
 //	             request omits params.workers (0 = all CPUs)
 //	-seed        default root seed for requests that omit params.seed
@@ -61,6 +65,8 @@ func run() (err error) {
 	jobs := fs.Int("jobs", 2, "campaigns executed concurrently")
 	cacheMB := fs.Int64("cache-mb", 64, "result-cache budget (MiB)")
 	retryAfter := fs.Int("retry-after", 2, "Retry-After hint on 429 (seconds)")
+	jobTTL := fs.Int("job-ttl-sec", 300, "seconds finished jobs stay pollable before eviction")
+	maxJobs := fs.Int("max-jobs", 256, "max retained finished jobs regardless of age")
 	drainSec := fs.Int("drain-sec", 60, "max seconds to drain in-flight jobs at shutdown")
 	fs.Parse(os.Args[1:])
 
@@ -81,6 +87,8 @@ func run() (err error) {
 		CellWorkers: common.Workers,
 		DefaultSeed: common.Seed,
 		RetryAfter:  time.Duration(*retryAfter) * time.Second,
+		JobTTL:      time.Duration(*jobTTL) * time.Second,
+		MaxJobs:     *maxJobs,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -452,8 +452,7 @@ func runFutureCampaign(ctx context.Context, p CampaignParams) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	comparePolicies := append([]string{"Equipartition"}, p.Policies...)
-	cr, err := ComparePoliciesCtx(ctx, opts, workload.Mixes(), comparePolicies)
+	cr, err := ComparePoliciesCtx(ctx, opts, workload.Mixes(), withBaseline(p.Policies))
 	if err != nil {
 		return nil, err
 	}
@@ -466,6 +465,19 @@ func runFutureCampaign(ctx context.Context, p CampaignParams) (any, error) {
 		return nil, err
 	}
 	return futureResultJSON(ctx, scen, p)
+}
+
+// withBaseline returns policies with Equipartition prepended unless it is
+// already present: the future model needs the baseline's summaries, but
+// listing it twice would simulate its cells — the most expensive in the
+// sweep — twice over.
+func withBaseline(policies []string) []string {
+	for _, pol := range policies {
+		if pol == "Equipartition" {
+			return policies
+		}
+	}
+	return append([]string{"Equipartition"}, policies...)
 }
 
 // futureResultJSON sweeps every scenario over the product axis into the

@@ -157,3 +157,30 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestWithBaseline checks the future kind's comparison list gains the
+// Equipartition baseline exactly once, whether or not the request already
+// names it — a duplicate would simulate the most expensive cells twice.
+func TestWithBaseline(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		{[]string{"Dynamic", "Dyn-Aff"}, []string{"Equipartition", "Dynamic", "Dyn-Aff"}},
+		{[]string{"Equipartition", "Dynamic"}, []string{"Equipartition", "Dynamic"}},
+		{[]string{"Dynamic", "Equipartition"}, []string{"Dynamic", "Equipartition"}},
+		{nil, []string{"Equipartition"}},
+	}
+	for _, tc := range cases {
+		got := withBaseline(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("withBaseline(%v) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("withBaseline(%v) = %v, want %v", tc.in, got, tc.want)
+				break
+			}
+		}
+	}
+}

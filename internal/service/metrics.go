@@ -44,6 +44,7 @@ type metrics struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	canceled  atomic.Uint64
+	reaped    atomic.Uint64 // terminal jobs evicted by TTL or MaxJobs cap
 	inflight  atomic.Int64
 
 	mu      sync.Mutex
@@ -85,6 +86,11 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	counter("affinityd_jobs_completed_total", "Campaigns that finished successfully.", m.completed.Load())
 	counter("affinityd_jobs_failed_total", "Campaigns that finished with an error.", m.failed.Load())
 	counter("affinityd_jobs_canceled_total", "Campaigns canceled before completion.", m.canceled.Load())
+	counter("affinityd_jobs_reaped_total", "Terminal jobs evicted from retention by TTL or the MaxJobs cap.", m.reaped.Load())
+	m.server.mu.Lock()
+	retained := len(m.server.jobs)
+	m.server.mu.Unlock()
+	gauge("affinityd_jobs_retained", "Jobs currently retained in the jobs map (queued, running, and recent terminal).", retained)
 
 	cs := m.server.cache.Stats()
 	counter("affinityd_cache_hits_total", "Result-cache hits.", cs.Hits)

@@ -82,6 +82,16 @@ type Config struct {
 	DefaultSeed uint64
 	// RetryAfter is the hint returned with 429 responses (default 2s).
 	RetryAfter time.Duration
+	// JobTTL bounds how long a terminal job's status and result stay
+	// retrievable through /v1/jobs after it finishes (default 5m).
+	// Expired ids return 404; the result body itself lives on in the
+	// byte-budgeted result cache, so identical resubmissions still hit.
+	JobTTL time.Duration
+	// MaxJobs caps retained terminal jobs regardless of age (default
+	// 256); the oldest-finished are evicted first. Together with JobTTL
+	// it keeps the jobs map — and the result bodies it pins — bounded on
+	// a long-running daemon.
+	MaxJobs int
 	// Runner substitutes the campaign executor (tests); nil uses the
 	// experiments registry.
 	Runner Runner
@@ -99,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
 	}
 	if c.Runner == nil {
 		c.Runner = registryRunner
@@ -212,6 +228,7 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workerWG   sync.WaitGroup
+	janitorWG  sync.WaitGroup
 }
 
 // New builds a Server and starts its worker pool.
@@ -241,6 +258,8 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	s.janitorWG.Add(1)
+	go s.janitor()
 	return s
 }
 
@@ -314,16 +333,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.deduped.Add(1)
 	}
 
+	// admit registered this request as a waiter while holding s.mu.
 	if req.Async {
-		// A polling client holds a permanent waiter: abandoning the poll
+		// A polling client's waiter is permanent: abandoning the poll
 		// URL must not cancel the job under other clients.
-		j.waiters.Add(1)
 		writeJSON(w, http.StatusAccepted, j.view())
 		return
 	}
 
-	j.waiters.Add(1)
 	defer func() {
+		// Detach under s.mu — the lock admit attaches under — so the
+		// count reaching zero and the cancellation are one atomic step
+		// no concurrent attach can split.
+		s.mu.Lock()
 		if j.waiters.Add(-1) == 0 {
 			// Last interested client is gone; stop simulating.
 			select {
@@ -332,6 +354,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.cancel()
 			}
 		}
+		s.mu.Unlock()
 	}()
 	select {
 	case <-j.done:
@@ -369,15 +392,33 @@ var (
 )
 
 // admit returns the in-flight job for key (singleflight) or enqueues a
-// new one. admitted reports whether a new job was created.
+// new one, registering the caller as a waiter while s.mu is held — the
+// same lock detach takes — so an attach can never interleave with the
+// previous last waiter's count-reaches-zero cancellation. admitted
+// reports whether a new job was created.
 func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, false, errDraining
 	}
+	s.reapLocked(time.Now())
 	if j, ok := s.inflight[key]; ok {
-		return j, false, nil
+		// A cancelled job (abandoned by its last waiter, DELETEd, or
+		// caught at shutdown) can occupy the singleflight slot until a
+		// worker reaps it. Attaching would surface someone else's 409;
+		// release the slot and admit a fresh run instead. Done or failed
+		// jobs remain attachable — their result is ready.
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		dying := st == statusCanceled ||
+			((st == statusQueued || st == statusRunning) && j.ctx.Err() != nil)
+		if !dying {
+			j.waiters.Add(1)
+			return j, false, nil
+		}
+		delete(s.inflight, key)
 	}
 	s.jobSeq++
 	j := &job{
@@ -393,11 +434,71 @@ func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*jo
 	select {
 	case s.queue <- j:
 	default:
+		j.cancel()
 		return nil, false, errQueueFull
 	}
+	j.waiters.Add(1)
 	s.jobs[j.id] = j
 	s.inflight[key] = j
 	return j, true, nil
+}
+
+// reapLocked evicts terminal jobs whose retention expired: anything
+// finished more than JobTTL ago, plus the oldest-finished jobs beyond the
+// MaxJobs cap. Queued and running jobs are never touched. Evicted ids
+// return 404 afterwards, but the result itself stays in the
+// content-addressed cache — resubmitting the identical request hits.
+// Callers hold s.mu.
+func (s *Server) reapLocked(now time.Time) {
+	type terminal struct {
+		id       string
+		finished time.Time
+	}
+	var term []terminal
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		fin := j.finished
+		j.mu.Unlock()
+		if fin.IsZero() {
+			continue // not terminal yet
+		}
+		if now.Sub(fin) > s.cfg.JobTTL {
+			delete(s.jobs, id)
+			s.metrics.reaped.Add(1)
+			continue
+		}
+		term = append(term, terminal{id, fin})
+	}
+	if excess := len(term) - s.cfg.MaxJobs; excess > 0 {
+		sort.Slice(term, func(i, k int) bool { return term[i].finished.Before(term[k].finished) })
+		for _, t := range term[:excess] {
+			delete(s.jobs, t.id)
+			s.metrics.reaped.Add(1)
+		}
+	}
+}
+
+// janitor periodically reaps expired terminal jobs so an idle daemon's
+// retention window still closes; exits when baseCtx is cancelled at
+// shutdown.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	interval := s.cfg.JobTTL / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			s.reapLocked(time.Now())
+			s.mu.Unlock()
+		}
+	}
 }
 
 // finish records a job's terminal state and clears its singleflight slot.
@@ -425,11 +526,20 @@ func (s *Server) finish(j *job, st jobStatus, body []byte, errMsg string) {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.queue {
+		// The queued→running transition is guarded: DELETE /v1/jobs/{id}
+		// can finish a queued job concurrently with this dequeue, and
+		// overwriting that terminal state would make the worker's own
+		// finish close j.done a second time.
+		j.mu.Lock()
+		if j.status != statusQueued {
+			j.mu.Unlock()
+			continue
+		}
 		if j.ctx.Err() != nil {
+			j.mu.Unlock()
 			s.finish(j, statusCanceled, nil, "canceled while queued")
 			continue
 		}
-		j.mu.Lock()
 		j.status = statusRunning
 		j.started = time.Now()
 		j.mu.Unlock()
@@ -583,11 +693,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.workerWG.Wait()
 		close(drained)
 	}()
+	stop := func() {
+		s.baseCancel()
+		s.janitorWG.Wait()
+	}
 	select {
 	case <-drained:
+		stop()
 		return nil
 	case <-ctx.Done():
-		s.baseCancel()
+		stop()
 		<-drained
 		return ctx.Err()
 	}

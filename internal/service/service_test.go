@@ -451,3 +451,174 @@ func TestHealthzAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelQueuedVsDequeueNoPanic races DELETE /v1/jobs/{id} on queued
+// jobs against workers dequeuing them. Before the worker's guarded
+// queued→running transition, this interleaving could finish a job twice
+// and panic the daemon on a double close of j.done.
+func TestCancelQueuedVsDequeueNoPanic(t *testing.T) {
+	var runs atomic.Int64
+	e := newEnv(t, Config{Runner: countingRunner(&runs, 0), JobWorkers: 2, QueueDepth: 64})
+
+	for i := 1; i <= 60; i++ {
+		resp := e.submit(fmt.Sprintf(`{"kind":"characterize","params":{"seed":%d},"async":true}`, i))
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, b)
+		}
+		var v jobView
+		json.Unmarshal(b, &v)
+		req, _ := http.NewRequest(http.MethodDelete, e.url+"/v1/jobs/"+v.ID, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, r)
+		if r.StatusCode != http.StatusAccepted {
+			t.Fatalf("cancel %d: %d", i, r.StatusCode)
+		}
+	}
+
+	// Every job must settle into a terminal state: nothing wedged, nothing
+	// resurrected to running after being finished.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(e.url + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := string(readAll(t, r))
+		if !strings.Contains(b, `"queued"`) && !strings.Contains(b, `"running"`) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("jobs never all reached a terminal state")
+}
+
+// TestResubmitAfterAbandonGetsFreshRun: a job cancelled by its last
+// waiter's disconnect can squat on the singleflight slot until its worker
+// notices. A new identical request must not attach to that dying job (it
+// would get a 409 it never caused) — it gets a fresh run.
+func TestResubmitAfterAbandonGetsFreshRun(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	stubborn := func(ctx context.Context, kind string, p experiments.CampaignParams) (any, error) {
+		started <- struct{}{}
+		<-release // slow to observe cancellation, like a real campaign mid-cell
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return map[string]any{"seed": p.Seed}, nil
+	}
+	e := newEnv(t, Config{Runner: stubborn, JobWorkers: 1})
+
+	// Client A is the sole waiter; disconnecting cancels the job, but the
+	// runner keeps it occupying the singleflight slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, e.url+"/v1/campaigns",
+		strings.NewReader(`{"kind":"characterize","params":{"seed":11}}`))
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("expected client-side context error")
+	}
+
+	// Wait until the server has cancelled the abandoned job's context.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.s.mu.Lock()
+		cancelled := false
+		for _, j := range e.s.inflight {
+			cancelled = j.ctx.Err() != nil
+		}
+		e.s.mu.Unlock()
+		if cancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned job never observed cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Client B resubmits the identical request while the dying job still
+	// holds the slot, then the worker is released to reap it.
+	done := make(chan *http.Response, 1)
+	go func() { done <- e.submit(`{"kind":"characterize","params":{"seed":11}}`) }()
+	time.Sleep(50 * time.Millisecond) // let B's admit run against the dying job
+	close(release)
+	resp := <-done
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit after abandon: got %d (%s), want 200 from a fresh run", resp.StatusCode, body)
+	}
+}
+
+// TestTerminalJobRetention: terminal jobs are evicted by the MaxJobs cap
+// and the JobTTL clock, so a long-running daemon's jobs map — and the
+// result bodies it pins — stays bounded. The results themselves survive in
+// the content-addressed cache.
+func TestTerminalJobRetention(t *testing.T) {
+	var runs atomic.Int64
+	e := newEnv(t, Config{Runner: countingRunner(&runs, 0), JobTTL: 50 * time.Millisecond, MaxJobs: 2})
+
+	for i := 1; i <= 4; i++ {
+		resp := e.submit(fmt.Sprintf(`{"kind":"characterize","params":{"seed":%d}}`, i))
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	reap := func() int {
+		e.s.mu.Lock()
+		e.s.reapLocked(time.Now())
+		n := len(e.s.jobs)
+		e.s.mu.Unlock()
+		return n
+	}
+	if n := reap(); n > 2 {
+		t.Errorf("retained %d terminal jobs, want <= MaxJobs (2)", n)
+	}
+
+	// Grab a surviving id, let the TTL lapse, and verify full eviction.
+	r, err := http.Get(e.url + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	json.Unmarshal(readAll(t, r), &listing)
+	time.Sleep(60 * time.Millisecond)
+	if n := reap(); n != 0 {
+		t.Errorf("after TTL, retained %d jobs, want 0", n)
+	}
+	for _, v := range listing.Jobs {
+		rs, err := http.Get(e.url + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, rs)
+		if rs.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted job %s: got %d, want 404", v.ID, rs.StatusCode)
+		}
+	}
+
+	// Eviction does not forget results: the identical request still hits.
+	resp := e.submit(`{"kind":"characterize","params":{"seed":4}}`)
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("resubmit after eviction X-Cache = %q, want hit", got)
+	}
+	if n := runs.Load(); n != 4 {
+		t.Errorf("runner executed %d times, want 4", n)
+	}
+}

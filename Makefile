@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke obs-smoke ci
 
 all: build
 
@@ -65,4 +65,12 @@ bench-json:
 serve-smoke:
 	$(GO) test -race -count=1 ./cmd/affinityd/ ./internal/service/
 
-ci: vet build race bench-smoke bench-cache serve-smoke
+# The observability gate: boots the serving core against the real
+# simulation engine, POSTs a campaign, and requires the engine counters
+# (reallocations, P^A/P^NA charges, flushes) and the request-span
+# histograms (queue wait, execution) at /metrics to be nonzero — the
+# whole stats path, scheduler to daemon, wired end to end.
+obs-smoke:
+	$(GO) test -race -count=1 -run 'TestObsSmoke' ./cmd/affinityd/
+
+ci: vet build race bench-smoke bench-cache serve-smoke obs-smoke

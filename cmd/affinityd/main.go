@@ -9,6 +9,7 @@
 //	affinityd [-addr HOST:PORT] [-queue N] [-jobs N] [-cache-mb MB]
 //	          [-retry-after SEC] [-job-ttl-sec SEC] [-max-jobs N]
 //	          [-workers N] [-seed N] [-cpuprofile FILE] [-memprofile FILE]
+//	          [-stats] [-pprof]
 //
 //	-addr        listen address (default 127.0.0.1:8642; use :0 for a
 //	             random port, printed on startup)
@@ -23,6 +24,9 @@
 //	-workers     per-campaign simulation-cell concurrency applied when a
 //	             request omits params.workers (0 = all CPUs)
 //	-seed        default root seed for requests that omit params.seed
+//	-stats       print each completed job's response-time decomposition
+//	             table to stdout
+//	-pprof       expose /debug/pprof/ runtime profiles (off by default)
 //
 // Quick check once running:
 //
@@ -68,6 +72,7 @@ func run() (err error) {
 	jobTTL := fs.Int("job-ttl-sec", 300, "seconds finished jobs stay pollable before eviction")
 	maxJobs := fs.Int("max-jobs", 256, "max retained finished jobs regardless of age")
 	drainSec := fs.Int("drain-sec", 60, "max seconds to drain in-flight jobs at shutdown")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 	fs.Parse(os.Args[1:])
 
 	stopProf, err := common.StartProfiling()
@@ -80,7 +85,7 @@ func run() (err error) {
 		}
 	}()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		QueueDepth:  *queue,
 		JobWorkers:  *jobs,
 		CacheBytes:  *cacheMB << 20,
@@ -89,7 +94,14 @@ func run() (err error) {
 		RetryAfter:  time.Duration(*retryAfter) * time.Second,
 		JobTTL:      time.Duration(*jobTTL) * time.Second,
 		MaxJobs:     *maxJobs,
-	})
+		EnablePprof: *pprofOn,
+	}
+	if common.Stats {
+		// -stats on the daemon prints each completed job's decomposition
+		// table to stdout as it finishes.
+		cfg.StatsWriter = os.Stdout
+	}
+	srv := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -86,6 +87,88 @@ func TestServeSmoke(t *testing.T) {
 	mr.Body.Close()
 	if !bytes.Contains(mb, []byte("affinityd_cache_hits_total 1")) {
 		t.Errorf("metrics missing cache hit counter:\n%s", mb)
+	}
+}
+
+// TestObsSmoke is the `make obs-smoke` gate: boot the serving core with
+// the real campaign registry, run one simulation-backed campaign, and
+// require the engine-level counters and the request-span histograms at
+// /metrics to be nonzero — proving the stats path is wired end to end
+// (scheduler -> cache model -> campaign fold -> job collector -> daemon
+// metrics) without touching the result body.
+func TestObsSmoke(t *testing.T) {
+	srv := service.New(service.Config{QueueDepth: 4, JobWorkers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Post(base+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"reps":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign: %d %s", resp.StatusCode, body)
+	}
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+		t.Error("X-Request-Id header missing")
+	}
+
+	mr, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+
+	// metric scans the exposition text for an exact series name and
+	// returns its value.
+	metric := func(name string) float64 {
+		for _, line := range strings.Split(string(mb), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == name {
+				v, err := strconv.ParseFloat(fields[1], 64)
+				if err != nil {
+					t.Fatalf("%s: bad value %q", name, fields[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metrics missing series %s:\n%s", name, mb)
+		return 0
+	}
+	for _, name := range []string{
+		"affinityd_sim_runs_total",
+		"affinityd_sim_reallocations_total",
+		"affinityd_sim_migrations_total",
+		"affinityd_sim_pa_charges_total",
+		"affinityd_sim_pna_charges_total",
+		"affinityd_sim_flushes_total",
+		"affinityd_sim_penalty_seconds_total",
+		"affinityd_request_queue_wait_seconds_count",
+		"affinityd_request_exec_seconds_count",
+		"affinityd_request_cache_lookup_seconds_count",
+		"affinityd_request_admit_seconds_count",
+	} {
+		if v := metric(name); v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// The exec histogram's +Inf bucket must agree with its count.
+	if !bytes.Contains(mb, []byte(`affinityd_request_exec_seconds_bucket{le="+Inf"} 1`)) {
+		t.Errorf("exec histogram +Inf bucket missing or wrong:\n%s", mb)
 	}
 }
 

@@ -29,6 +29,9 @@
 //	-window SEC   trace window length in seconds (default 5, from t=0)
 //	-workers N    simulation cells run concurrently (0 = all CPUs, 1 = sequential);
 //	              results are identical for every worker count
+//	-stats        print the response-time decomposition table (engine
+//	              counters: reallocations, P^A/P^NA charges, penalty time)
+//	              after the exhibits; exhibit output is unchanged
 package main
 
 import (
@@ -113,6 +116,15 @@ func run(args []string) (err error) {
 			err = perr
 		}
 	}()
+	if err := c.dispatch(cmd); err != nil {
+		return err
+	}
+	// With -stats, the decomposition table totals every campaign the
+	// subcommand ran.
+	return c.common.WriteStats(os.Stdout)
+}
+
+func (c *cli) dispatch(cmd string) error {
 	switch cmd {
 	case "characterize":
 		return c.characterize()

@@ -25,9 +25,9 @@ import (
 // Result is one benchmark's parsed measurements. Zero-valued fields were
 // absent from the input line (e.g. B/op without -benchmem).
 type Result struct {
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BPerOp     float64 `json:"b_per_op"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 

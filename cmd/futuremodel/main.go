@@ -53,6 +53,9 @@ func main() {
 	if err == nil && *simulate {
 		err = runSimulated(opts)
 	}
+	if err == nil {
+		err = common.WriteStats(os.Stdout)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

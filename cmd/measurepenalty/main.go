@@ -40,6 +40,9 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(opts, *csv, *detail)
+	if err == nil {
+		err = common.WriteStats(os.Stdout)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

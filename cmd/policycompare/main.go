@@ -43,6 +43,9 @@ func main() {
 		os.Exit(1)
 	}
 	err = run(opts, *mixNo, *csv, *timeshare)
+	if err == nil {
+		err = common.WriteStats(os.Stdout)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}

@@ -76,13 +76,30 @@ type Model interface {
 	// allocated capacity, so one model instance can serve many simulation
 	// runs. A reset model is indistinguishable from a freshly built one.
 	Reset()
+	// Stats returns cumulative operation counters since construction or
+	// the last Reset. Only protocol-invariant quantities are counted
+	// (call counts and returned invalidation totals, never journal or
+	// rollback internals), so the exact model's fast and naive protocols
+	// report identical Stats for identical call sequences.
+	Stats() Stats
 	// Name identifies the model for reports.
 	Name() string
+}
+
+// Stats are a cache model's cumulative operation counters. All fields
+// are deterministic functions of the call sequence the scheduler drives,
+// independent of the model's internal protocol.
+type Stats struct {
+	Plans      uint64  // Plan calls
+	Commits    uint64  // Commit calls
+	Flushes    uint64  // InvalidateShared sweeps (coherency invalidation ops)
+	InvalLines float64 // total lines invalidated by those sweeps
 }
 
 // Footprint is the analytic occupancy model (the default).
 type Footprint struct {
 	procs []*footprint.Cache
+	stats Stats
 }
 
 // NewFootprint builds the analytic model for nprocs processors with caches
@@ -110,7 +127,11 @@ func (f *Footprint) Reset() {
 	for _, fc := range f.procs {
 		fc.Reset()
 	}
+	f.stats = Stats{}
 }
+
+// Stats implements Model.
+func (f *Footprint) Stats() Stats { return f.stats }
 
 // Resident implements Model.
 func (f *Footprint) Resident(proc, task int) float64 {
@@ -119,11 +140,13 @@ func (f *Footprint) Resident(proc, task int) float64 {
 
 // Plan implements Model.
 func (f *Footprint) Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	f.stats.Plans++
 	return footprint.Segment(pat, c0, c0+w, r0)
 }
 
 // Commit implements Model.
 func (f *Footprint) Commit(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	f.stats.Commits++
 	return f.procs[proc].RunSegment(task, pat, c0, c0+w, r0)
 }
 
@@ -138,6 +161,8 @@ func (f *Footprint) InvalidateShared(fromProc int, siblings []int, lines float64
 			total += fc.Invalidate(sib, lines)
 		}
 	}
+	f.stats.Flushes++
+	f.stats.InvalLines += total
 	return total
 }
 
@@ -162,6 +187,7 @@ type Exact struct {
 	seed  uint64
 	pend  []pendingPlan // per-processor speculative segment
 	naive bool          // clone-and-replay-twice oracle protocol
+	stats Stats
 }
 
 // NewExact builds the exact model for nprocs processors with the given
@@ -210,7 +236,11 @@ func (e *Exact) Reset() {
 		e.procs[p].Flush()
 	}
 	clear(e.gens)
+	e.stats = Stats{}
 }
+
+// Stats implements Model.
+func (e *Exact) Stats() Stats { return e.stats }
 
 // gen returns (creating on first use) task's reference stream. Tasks get
 // disjoint address spaces and decorrelated seeds.
@@ -280,6 +310,7 @@ func replay(c *cache.Cache, g *memtrace.Generator, owner int, w simtime.Duration
 // processor's pending plan; in naive (oracle) mode it replays on cloned
 // cache and stream state instead.
 func (e *Exact) Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	e.stats.Plans++
 	if w <= 0 {
 		return 0
 	}
@@ -307,6 +338,7 @@ func (e *Exact) Plan(proc, task int, pat *memtrace.Pattern, c0, w simtime.Durati
 // at no cost. Otherwise (preemption truncated the segment, or the plan was
 // already resolved) the executed prefix replays live.
 func (e *Exact) Commit(proc, task int, pat *memtrace.Pattern, c0, w simtime.Duration, r0 float64) float64 {
+	e.stats.Commits++
 	if e.naive {
 		if w <= 0 {
 			return 0
@@ -348,6 +380,8 @@ func (e *Exact) InvalidateShared(fromProc int, siblings []int, lines float64) fl
 			total += c.InvalidateN(sib, n)
 		}
 	}
+	e.stats.Flushes++
+	e.stats.InvalLines += float64(total)
 	return float64(total)
 }
 

@@ -6,8 +6,10 @@ package cliflags
 
 import (
 	"flag"
+	"io"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -21,6 +23,15 @@ type Common struct {
 	// CPUProfile and MemProfile are pprof output paths ("" = off).
 	CPUProfile string
 	MemProfile string
+	// Stats requests the response-time decomposition table after the
+	// campaign's own exhibits (engine counters: reallocations, P^A/P^NA
+	// charges, cache-reload transient). The exhibit output itself is
+	// unchanged — stats flow out of band.
+	Stats bool
+
+	// collector accumulates SimStats across every campaign Apply is
+	// called for; created lazily on first Apply when Stats is set.
+	collector *obs.CampaignStats
 }
 
 // Register installs the shared flags on fs and returns the value struct
@@ -31,13 +42,31 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.Uint64Var(&c.Seed, "seed", 1, "root random seed")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.BoolVar(&c.Stats, "stats", false, "print the simulation-counter decomposition table after the exhibits")
 	return c
 }
 
-// Apply copies the shared values onto an experiment campaign's options.
+// Apply copies the shared values onto an experiment campaign's options,
+// creating the stats collector when -stats was given. The collector is
+// shared across every campaign the binary runs, so the printed table
+// totals the whole invocation.
 func (c *Common) Apply(opts *experiments.Options) {
 	opts.Seed = c.Seed
 	opts.Workers = c.Workers
+	if c.Stats && c.collector == nil {
+		c.collector = obs.NewCampaignStats()
+	}
+	opts.Stats = c.collector
+}
+
+// WriteStats renders the accumulated decomposition table to w if -stats
+// was given (and any campaign ran); otherwise it is a no-op.
+func (c *Common) WriteStats(w io.Writer) error {
+	if c.collector == nil {
+		return nil
+	}
+	t := experiments.StatsReport(c.collector)
+	return t.Write(w)
 }
 
 // StartProfiling begins any requested profiles. The returned stop

@@ -42,6 +42,7 @@ type Queue struct {
 	nextSeq uint64
 	now     simtime.Time
 	fired   uint64
+	peak    int      // high-water mark of pending-event depth
 	free    []*Event // recycled Event objects (see Free)
 }
 
@@ -58,6 +59,7 @@ func (q *Queue) Reset() {
 	q.nextSeq = 0
 	q.now = 0
 	q.fired = 0
+	q.peak = 0
 }
 
 // Free returns a fired or cancelled event to the queue's internal pool so
@@ -86,6 +88,10 @@ func (q *Queue) Len() int { return len(q.h) }
 // Fired returns the total number of events that have fired.
 func (q *Queue) Fired() uint64 { return q.fired }
 
+// Peak returns the high-water mark of pending-event depth since the
+// queue was created or last Reset.
+func (q *Queue) Peak() int { return q.peak }
+
 // At schedules fire to run at the absolute simulated time at. Scheduling in
 // the past (before Now) panics: it always indicates a simulator bug, and
 // silently reordering time would corrupt every downstream measurement.
@@ -109,6 +115,9 @@ func (q *Queue) At(at simtime.Time, fire func()) *Event {
 	}
 	q.nextSeq++
 	heap.Push(&q.h, e)
+	if n := len(q.h); n > q.peak {
+		q.peak = n
+	}
 	return e
 }
 

@@ -388,3 +388,38 @@ func TestFreeDeterminismAcrossReuse(t *testing.T) {
 		}
 	}
 }
+
+func TestPeakDepth(t *testing.T) {
+	var q Queue
+	if q.Peak() != 0 {
+		t.Fatalf("fresh queue Peak = %d, want 0", q.Peak())
+	}
+	noop := func() {}
+	for i := 0; i < 5; i++ {
+		q.At(simtime.Time(i), noop)
+	}
+	if q.Peak() != 5 {
+		t.Fatalf("Peak after 5 pushes = %d, want 5", q.Peak())
+	}
+	// Draining does not lower the high-water mark.
+	for q.Step() {
+	}
+	if q.Peak() != 5 {
+		t.Fatalf("Peak after drain = %d, want 5", q.Peak())
+	}
+	// Refilling to a lower depth keeps the old peak; exceeding it raises it.
+	q.At(q.Now(), noop)
+	if q.Peak() != 5 {
+		t.Fatalf("Peak after shallow refill = %d, want 5", q.Peak())
+	}
+	q.Reset()
+	if q.Peak() != 0 {
+		t.Fatalf("Peak after Reset = %d, want 0", q.Peak())
+	}
+	for i := 0; i < 7; i++ {
+		q.At(simtime.Time(i), noop)
+	}
+	if q.Peak() != 7 {
+		t.Fatalf("Peak after 7 pushes = %d, want 7", q.Peak())
+	}
+}

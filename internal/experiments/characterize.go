@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -49,6 +50,7 @@ func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) 
 		mixApps = append(mixApps, opts.apps(m, opts.Seed)...)
 	}
 	out := make([]AppCharacter, len(mixApps))
+	simStats := make([]obs.SimStats, len(mixApps))
 	err := parallel.ForEach(ctx, opts.Workers, len(mixApps), func(ctx context.Context, i int) error {
 		app := mixApps[i]
 		res, err := runSim(sched.Config{
@@ -60,6 +62,7 @@ func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) 
 		if err != nil {
 			return err
 		}
+		simStats[i] = res.Stats
 		j := res.Jobs[0]
 		elapsed := j.ResponseTime.SecondsF()
 		ch := AppCharacter{
@@ -86,6 +89,11 @@ func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Stats != nil {
+		parallel.Fold(simStats, func(_ int, s obs.SimStats) {
+			opts.Stats.Add("Equipartition", s)
+		})
 	}
 	return out, nil
 }

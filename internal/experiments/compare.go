@@ -93,6 +93,15 @@ func ComparePoliciesCtx(ctx context.Context, opts Options, mixes []workload.Mix,
 		return nil, err
 	}
 
+	// Fold per-run simulation stats in grid order (never inside the
+	// workers), keyed by policy, so the collector's totals are identical
+	// at every worker count.
+	if opts.Stats != nil {
+		parallel.Fold(runs, func(idx int, res sched.Result) {
+			opts.Stats.Add(policies[idx/R%len(policies)], res.Stats)
+		})
+	}
+
 	cr := &CompareResult{
 		Opts:      opts,
 		Mixes:     mixes,

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -103,6 +104,37 @@ func TestCharacterizeDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if seq, par := run(1), run(8); !reflect.DeepEqual(seq, par) {
 		t.Fatal("Characterize results differ between Workers=1 and Workers=8")
+	}
+}
+
+// TestSimStatsDeterministicAcrossWorkers extends the worker-count
+// invariance to the out-of-band instrumentation: the folded SimStats —
+// totals, per-policy breakdown, cell count, even the eventq high-water
+// mark — must be identical whether cells ran sequentially or on eight
+// workers. Stats are folded in grid order after the parallel phase, so
+// this holds by construction; the test pins it.
+func TestSimStatsDeterministicAcrossWorkers(t *testing.T) {
+	mixes := workload.Mixes()[:3]
+	policies := []string{"Equipartition", "Dyn-Aff"}
+	run := func(workers int) obs.CampaignSnapshot {
+		t.Helper()
+		o := determinismOpts()
+		o.Workers = workers
+		o.Stats = obs.NewCampaignStats()
+		if _, err := ComparePoliciesCtx(context.Background(), o, mixes, policies); err != nil {
+			t.Fatalf("workers=%d: compare: %v", workers, err)
+		}
+		if _, err := Table1Ctx(context.Background(), o); err != nil {
+			t.Fatalf("workers=%d: table1: %v", workers, err)
+		}
+		return o.Stats.Snapshot()
+	}
+	seq, par := run(1), run(8)
+	if seq.Cells == 0 || seq.Total.Runs == 0 || seq.Total.Reallocations == 0 {
+		t.Fatalf("collector stayed empty: %+v", seq.Total)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("SimStats differ between Workers=1 and Workers=8:\nseq %+v\npar %+v", seq, par)
 	}
 }
 

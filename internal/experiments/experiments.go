@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -48,6 +49,13 @@ type Options struct {
 	// count: each cell's seed is derived from Seed and the cell's grid
 	// coordinates, never from execution order.
 	Workers int
+	// Stats, when non-nil, collects per-run simulation statistics
+	// (reallocations, P^A/P^NA charges, penalty time, …) across the
+	// campaign's cells, folded in deterministic grid order after each
+	// parallel phase so the totals are worker-count independent. Stats is
+	// out-of-band telemetry: it never feeds a result body or a result-
+	// cache key, and leaving it nil costs nothing.
+	Stats *obs.CampaignStats
 }
 
 // DefaultOptions returns the paper-faithful configuration.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -76,6 +77,7 @@ func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, pol
 	// idx = (prodIdx*len(cols) + col)*R + rep.
 	R := opts.Replications
 	rts := make([]float64, len(products)*len(cols)*R)
+	simStats := make([]obs.SimStats, len(rts))
 	err := parallel.ForEach(ctx, opts.Workers, len(rts), func(ctx context.Context, idx int) error {
 		rep := idx % R
 		col := idx / R % len(cols)
@@ -92,10 +94,16 @@ func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, pol
 			return fmt.Errorf("experiments: product %v policy %s: %w", products[prodIdx], cols[col], err)
 		}
 		rts[idx] = r.MeanResponse()
+		simStats[idx] = r.Stats
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Stats != nil {
+		parallel.Fold(simStats, func(idx int, s obs.SimStats) {
+			opts.Stats.Add(cols[idx/R%len(cols)], s)
+		})
 	}
 
 	var out []FutureSimPoint

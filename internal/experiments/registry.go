@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
@@ -83,6 +84,20 @@ func (p CampaignParams) options() (Options, error) {
 	if err := o.Validate(); err != nil {
 		return Options{}, err
 	}
+	return o, nil
+}
+
+// optionsCtx is options plus the context's stats collector (if any): a
+// caller that wrapped ctx with obs.WithCollector — the daemon does, per
+// job — gets per-run simulation stats folded into it as the campaign
+// executes. The collector rides out-of-band: it is not a params field,
+// so it can never reach a cache key or a result body.
+func (p CampaignParams) optionsCtx(ctx context.Context) (Options, error) {
+	o, err := p.options()
+	if err != nil {
+		return Options{}, err
+	}
+	o.Stats = obs.CollectorFrom(ctx)
 	return o, nil
 }
 
@@ -278,7 +293,7 @@ type Table1CampaignCell struct {
 }
 
 func runTable1Campaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +331,7 @@ type CharacterizeCampaignResult struct {
 }
 
 func runCharacterizeCampaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -330,11 +345,11 @@ func runCharacterizeCampaign(ctx context.Context, p CampaignParams) (any, error)
 // CompareCampaignRow is one (mix, policy, job) outcome of the compare
 // kind, in replication-averaged units.
 type CompareCampaignRow struct {
-	Mix           int     `json:"mix"`
-	Policy        string  `json:"policy"`
-	Job           int     `json:"job"`
-	App           string  `json:"app"`
-	MeanRTSec     float64 `json:"mean_rt_sec"`
+	Mix       int     `json:"mix"`
+	Policy    string  `json:"policy"`
+	Job       int     `json:"job"`
+	App       string  `json:"app"`
+	MeanRTSec float64 `json:"mean_rt_sec"`
 	// RelRT is MeanRTSec divided by the same job's Equipartition mean;
 	// 0 when Equipartition is not in the policy list.
 	RelRT         float64 `json:"rel_rt,omitempty"`
@@ -357,7 +372,7 @@ type CompareCampaignResult struct {
 }
 
 func runCompareCampaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -448,7 +463,7 @@ type FutureCampaignResult struct {
 }
 
 func runFutureCampaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +552,7 @@ type FutureSimCampaignResult struct {
 }
 
 func runFutureSimCampaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -563,7 +578,7 @@ type RelatedWorkCampaignResult struct {
 }
 
 func runRelatedWorkCampaign(ctx context.Context, p CampaignParams) (any, error) {
-	opts, err := p.options()
+	opts, err := p.optionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

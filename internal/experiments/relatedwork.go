@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -94,6 +95,11 @@ func RelatedWorkCtx(ctx context.Context, opts Options) (*RelatedWorkResult, erro
 	if err != nil {
 		return nil, err
 	}
+	if opts.Stats != nil {
+		parallel.Fold(runs, func(idx int, r sched.Result) {
+			opts.Stats.Add(policies[idx/R], r.Stats)
+		})
+	}
 	res := &RelatedWorkResult{}
 	byName := make(map[string]*RelatedWorkRow, len(policies))
 	for pi, polName := range policies {
@@ -182,6 +188,7 @@ func MPLSweepCtx(ctx context.Context, opts Options, maxJobs int, policies []stri
 	// idx = ((k-1)*len(policies) + pi)*R + rep.
 	R := opts.Replications
 	rts := make([]float64, maxJobs*len(policies)*R)
+	simStats := make([]obs.SimStats, len(rts))
 	err := parallel.ForEach(ctx, opts.Workers, len(rts), func(ctx context.Context, idx int) error {
 		rep := idx % R
 		polName := policies[idx/R%len(policies)]
@@ -202,10 +209,16 @@ func MPLSweepCtx(ctx context.Context, opts Options, maxJobs int, policies []stri
 			return err
 		}
 		rts[idx] = r.MeanResponse()
+		simStats[idx] = r.Stats
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Stats != nil {
+		parallel.Fold(simStats, func(idx int, s obs.SimStats) {
+			opts.Stats.Add(policies[idx/R%len(policies)], s)
+		})
 	}
 	var out []MPLPoint
 	for k := 1; k <= maxJobs; k++ {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// StatsReport renders a campaign's accumulated simulation statistics as
+// the paper's Figure 1 response-time decomposition: work, waste, switch
+// overhead and miss stall, then the reallocation counts split into P^A
+// and P^NA charges and the cache-reload transient they cost. One column
+// per policy (sorted) plus a total column; rows are fixed, so output is
+// deterministic for a given snapshot.
+func StatsReport(cs *obs.CampaignStats) report.Table {
+	snap := cs.Snapshot()
+	t := report.Table{
+		Title:   "Response-time decomposition (Figure 1 terms)",
+		Headers: []string{"metric"},
+	}
+	cols := make([]obs.SimStats, 0, len(snap.PolicyOrder)+1)
+	for _, pol := range snap.PolicyOrder {
+		t.Headers = append(t.Headers, pol)
+		cols = append(cols, snap.PerPolicy[pol])
+	}
+	t.Headers = append(t.Headers, "total")
+	cols = append(cols, snap.Total)
+
+	addRow := func(name string, get func(obs.SimStats) string) {
+		row := []string{name}
+		for _, s := range cols {
+			row = append(row, get(s))
+		}
+		t.AddRow(row...)
+	}
+	count := func(get func(obs.SimStats) uint64) func(obs.SimStats) string {
+		return func(s obs.SimStats) string { return fmt.Sprintf("%d", get(s)) }
+	}
+	cpuSec := func(get func(obs.SimStats) int64) func(obs.SimStats) string {
+		return func(s obs.SimStats) string { return report.F(float64(get(s))/1e9, 2) }
+	}
+
+	addRow("simulation runs", count(func(s obs.SimStats) uint64 { return s.Runs }))
+	addRow("events fired", count(func(s obs.SimStats) uint64 { return s.Events }))
+	addRow("eventq peak depth", count(func(s obs.SimStats) uint64 { return s.EventqPeak }))
+	addRow("work (cpu-s)", cpuSec(func(s obs.SimStats) int64 { return s.WorkNs }))
+	addRow("waste (cpu-s)", cpuSec(func(s obs.SimStats) int64 { return s.WasteNs }))
+	addRow("switch overhead (cpu-s)", cpuSec(func(s obs.SimStats) int64 { return s.SwitchNs }))
+	addRow("miss stall (cpu-s)", cpuSec(func(s obs.SimStats) int64 { return s.MissNs }))
+	addRow("reallocations", count(func(s obs.SimStats) uint64 { return s.Reallocations }))
+	addRow("  P^A charges (affinity kept)", count(func(s obs.SimStats) uint64 { return s.PACharges }))
+	addRow("  P^NA charges (cold cache)", count(func(s obs.SimStats) uint64 { return s.PNACharges }))
+	addRow("  migrations", count(func(s obs.SimStats) uint64 { return s.Migrations }))
+	addRow("cache-reload transient (cpu-s)", cpuSec(func(s obs.SimStats) int64 { return s.PenaltyNs }))
+	addRow("coherency flushes", count(func(s obs.SimStats) uint64 { return s.Flushes }))
+	addRow("lines invalidated", func(s obs.SimStats) string { return report.F(s.InvalLines, 0) })
+	addRow("cache-model plans", count(func(s obs.SimStats) uint64 { return s.Plans }))
+	addRow("cache-model commits", count(func(s obs.SimStats) uint64 { return s.Commits }))
+	return t
+}

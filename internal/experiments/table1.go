@@ -4,8 +4,10 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/machine"
 	"repro/internal/measure"
 	"repro/internal/memtrace"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/simtime"
 )
@@ -25,7 +27,58 @@ func Table1Ctx(ctx context.Context, opts Options) (measure.Table1, error) {
 	}
 	mc := opts.Machine
 	mc.Processors = 1 // the paper's measurement uses a single processor
-	return measure.BuildTable1Ctx(ctx, mc, memtrace.Patterns(), measure.DefaultQs(), opts.MeasureBudget, opts.Seed, opts.Workers)
+	t1, err := measure.BuildTable1Ctx(ctx, mc, memtrace.Patterns(), measure.DefaultQs(), opts.MeasureBudget, opts.Seed, opts.Workers)
+	if err != nil {
+		return t1, err
+	}
+	if opts.Stats != nil {
+		opts.Stats.Add("measure", table1Stats(mc, t1, opts.MeasureBudget))
+	}
+	return t1, nil
+}
+
+// table1Stats derives a SimStats from the Section-4 measurement protocol.
+// The protocol has no event queue, so the dispatch counters map onto its
+// regimes instead: every migrating-regime switch is a migration charging
+// P^NA (with a cache flush, as the paper streams through memory), and
+// every multiprogrammed-regime switch charges P^A; the penalty time is
+// the regime's whole response-time delta over the stationary baseline.
+// Cells are folded in (Q, measured application) grid order, so the totals
+// are identical at every worker count.
+func table1Stats(mc machine.Config, t1 measure.Table1, budget simtime.Duration) obs.SimStats {
+	var s obs.SimStats
+	addRun := func(r measure.RunResult) {
+		s.Runs++
+		s.WorkNs += int64(budget)
+		s.SwitchNs += int64(r.Switches) * int64(mc.SwitchPath)
+		s.MissNs += int64(r.Misses) * int64(mc.LineFill)
+	}
+	delta := func(r, base measure.RunResult) int64 {
+		if d := int64(r.ResponseTime - base.ResponseTime); d > 0 {
+			return d
+		}
+		return 0
+	}
+	for _, q := range t1.Qs {
+		for _, app := range t1.Apps {
+			pen := t1.Cells[q][app]
+			addRun(pen.Stationary)
+			addRun(pen.Migrating)
+			s.Reallocations += uint64(pen.Migrating.Switches)
+			s.Migrations += uint64(pen.Migrating.Switches)
+			s.PNACharges += uint64(pen.Migrating.Switches)
+			s.Flushes += uint64(pen.Migrating.Switches)
+			s.PenaltyNs += delta(pen.Migrating, pen.Stationary)
+			for _, iv := range t1.Apps {
+				multi := pen.Multi[iv]
+				addRun(multi)
+				s.Reallocations += uint64(multi.Switches)
+				s.PACharges += uint64(multi.Switches)
+				s.PenaltyNs += delta(multi, pen.Stationary)
+			}
+		}
+	}
+	return s
 }
 
 // Table1Report renders the measured penalties in the paper's Table-1

@@ -1,0 +1,93 @@
+// Package obs is a zero-dependency instrumentation layer: cheap atomic
+// counters, log-bucketed latency histograms, and the per-run simulation
+// statistics (SimStats / CampaignStats) threaded from the scheduling
+// engine through the campaign drivers up to the affinityd daemon.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost near zero. Counter is a bare atomic add. Histogram
+//     buckets by bit length (bits.Len64) — one atomic add into a fixed
+//     array plus one atomic add into the running sum; no floating point,
+//     no locks, no allocation on the observe path. Floats appear only at
+//     render/snapshot time.
+//  2. Determinism. SimStats is plain integer (and one float64 whose
+//     value is itself deterministic) arithmetic, merged in a caller-
+//     chosen order; identical runs fold to identical totals regardless
+//     of worker count.
+//  3. Zero dependencies. The package imports only the standard library
+//     (and nothing heavyweight from it), so every layer — including
+//     internal/parallel and internal/eventq peers — can use it freely.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// HistogramBuckets is the number of histogram buckets: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 holds exactly v == 0). The inclusive upper bound of bucket
+// i is 2^i - 1.
+const HistogramBuckets = 65
+
+// Histogram is a lock-free latency/size histogram with power-of-two
+// buckets. Observations are raw uint64 units (the caller picks the unit;
+// the daemon uses nanoseconds). Bucketing is by bit length, so the
+// observe path is two atomic adds and zero floating-point operations.
+type Histogram struct {
+	counts [HistogramBuckets]atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts are
+// per-bucket (not cumulative); Count is the total number of
+// observations and Sum their total in raw units.
+type HistogramSnapshot struct {
+	Counts [HistogramBuckets]uint64
+	Sum    uint64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may or may not be included; each observation is counted at most
+// once per field, so Count and the bucket totals drift by at most the
+// number of in-flight observers.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketBound returns the inclusive upper bound of bucket i
+// (2^i - 1; bucket 0 is exactly zero, the last bucket is unbounded).
+func BucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(i) - 1
+}

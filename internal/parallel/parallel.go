@@ -133,6 +133,19 @@ func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) err
 	return fn(ctx, i)
 }
 
+// Fold visits every cell result in ascending index order — the one order
+// that is independent of worker count and completion timing — so callers
+// can merge per-cell statistics (or any other reduction where order
+// matters, e.g. floating-point sums) deterministically after a ForEach
+// completes. It is deliberately trivial; its value is the contract:
+// reductions over fan-out results must happen here, in grid order, never
+// inside the worker callbacks.
+func Fold[T any](cells []T, merge func(i int, cell T)) {
+	for i, c := range cells {
+		merge(i, c)
+	}
+}
+
 // CellSeed derives a deterministic per-cell seed from a campaign root seed
 // and the cell's grid coordinates, by chaining SplitMix64 over the
 // coordinates. Distinct coordinate vectors yield decorrelated seeds;

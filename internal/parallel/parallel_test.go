@@ -155,3 +155,21 @@ func TestForEachSequentialFastPathStopsEarly(t *testing.T) {
 		t.Fatalf("err=%v last=%d", err, last)
 	}
 }
+
+func TestFoldVisitsInIndexOrder(t *testing.T) {
+	cells := []int{10, 20, 30, 40}
+	var order []int
+	sum := 0
+	Fold(cells, func(i, c int) {
+		order = append(order, i)
+		sum += c
+	})
+	if sum != 100 {
+		t.Fatalf("sum = %d, want 100", sum)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("visit order %v not ascending", order)
+		}
+	}
+}

@@ -88,6 +88,84 @@ func TestCacheRePutKeepsOriginal(t *testing.T) {
 	}
 }
 
+// TestCachePutBudgetDiscipline is a table-driven regression test for two
+// budget-accounting hazards on the Put path:
+//
+//   - A value larger than the whole budget must be rejected up front — a
+//     naive "evict until it fits" loop would evict every resident entry
+//     and then fail to store anyway, trading a full cache for nothing.
+//   - Re-putting an existing key (which the service does whenever a
+//     deduped job finishes after its twin) must not double-count used
+//     bytes; the accounting would otherwise leak budget until healthy
+//     entries are evicted for phantom usage.
+func TestCachePutBudgetDiscipline(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  func(c *Cache)
+		// expectations after ops
+		wantEntries   int
+		wantBytes     int64
+		wantEvictions uint64
+		wantKeys      []string // must all hit
+	}{
+		{
+			name: "oversized put is a no-op, residents survive",
+			ops: func(c *Cache) {
+				c.Put("a", []byte("aaaa"))
+				c.Put("b", []byte("bbbb"))
+				c.Put("huge", bytes.Repeat([]byte("x"), 11)) // > whole budget
+			},
+			wantEntries:   2,
+			wantBytes:     8,
+			wantEvictions: 0,
+			wantKeys:      []string{"a", "b"},
+		},
+		{
+			name: "exactly-budget value stores after evicting all",
+			ops: func(c *Cache) {
+				c.Put("a", []byte("aaaa"))
+				c.Put("full", bytes.Repeat([]byte("y"), 10)) // == budget: legal
+			},
+			wantEntries:   1,
+			wantBytes:     10,
+			wantEvictions: 1,
+			wantKeys:      []string{"full"},
+		},
+		{
+			name: "re-put does not double-count used bytes",
+			ops: func(c *Cache) {
+				c.Put("k", []byte("12345"))
+				for i := 0; i < 10; i++ {
+					c.Put("k", []byte("12345"))
+				}
+				// 5 bytes of room must genuinely remain.
+				c.Put("m", []byte("abcde"))
+			},
+			wantEntries:   2,
+			wantBytes:     10,
+			wantEvictions: 0,
+			wantKeys:      []string{"k", "m"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(10)
+			tc.ops(c)
+			st := c.Stats()
+			if st.Entries != tc.wantEntries || st.Bytes != tc.wantBytes || st.Evictions != tc.wantEvictions {
+				t.Errorf("stats = entries %d bytes %d evictions %d, want %d/%d/%d",
+					st.Entries, st.Bytes, st.Evictions,
+					tc.wantEntries, tc.wantBytes, tc.wantEvictions)
+			}
+			for _, k := range tc.wantKeys {
+				if _, ok := c.Get(k); !ok {
+					t.Errorf("key %q missing", k)
+				}
+			}
+		})
+	}
+}
+
 // TestCacheConcurrent exercises the lock under -race.
 func TestCacheConcurrent(t *testing.T) {
 	c := New(1 << 10)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cachemodel"
 	"repro/internal/eventq"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -175,6 +176,13 @@ type Result struct {
 	// threads (the parallelism profile of the whole run, as in the
 	// paper's Figures 2–4 when run with a single job).
 	Profile []simtime.Duration
+	// Stats is the run's Figure 1 decomposition: reallocation counts
+	// split by affinity (P^A vs P^NA charges), the cache-reload
+	// transient, cache-model operation totals, and event-queue depth.
+	// Every field is a deterministic function of Config — identical for
+	// the exact model's fast and naive protocols — so whole Results stay
+	// comparable in differential and reuse tests.
+	Stats obs.SimStats
 }
 
 // MeanResponse returns the mean job response time in seconds.
@@ -302,6 +310,11 @@ type engine struct {
 	lastProfile simtime.Time
 	profile     []simtime.Duration
 	quantumEv   *eventq.Event
+
+	// stats accumulates the run's dispatch-classification counters; plain
+	// integer increments on the dispatch path (not atomics — the engine is
+	// single-goroutine), folded into Result.Stats at the end of the run.
+	stats obs.SimStats
 }
 
 // Runner executes simulation runs back to back, reusing the expensive
@@ -675,8 +688,15 @@ func (e *engine) dispatch(p *procRT) {
 	} else {
 		overhead = e.mc.SwitchPath
 		j.reallocs++
+		e.stats.Reallocations++
 		if t.lastProc == p.id {
 			j.affinity++
+			e.stats.PACharges++
+		} else {
+			e.stats.PNACharges++
+			if t.lastProc >= 0 {
+				e.stats.Migrations++
+			}
 		}
 		// The footprint rebuild restarts: coverage is measured from here,
 		// discounted by whatever survived on this processor.
@@ -692,6 +712,12 @@ func (e *engine) dispatch(p *procRT) {
 	e.record(trace.Dispatch, p.id, j.id, t.ref.Task, !continuation, !continuation && t.lastProc == p.id)
 	e.endIdle(p)
 	e.startSegment(p, overhead)
+	if !continuation {
+		// The first segment after a reallocation bears the cache-reload
+		// transient: its miss stall is the penalty the paper charges per
+		// switch (P^A when the footprint partially survived, P^NA when not).
+		e.stats.PenaltyNs += int64(p.segMissTime)
+	}
 }
 
 // startSegment schedules execution of the task's current thread to
@@ -990,6 +1016,21 @@ func (e *engine) result(events uint64) Result {
 		Events:          events,
 		BusTransactions: e.bus.Stats().Transactions,
 		Profile:         e.profile,
+		Stats:           e.stats,
+	}
+	res.Stats.Runs = 1
+	res.Stats.Events = events
+	res.Stats.EventqPeak = uint64(e.q.Peak())
+	ms := e.model.Stats()
+	res.Stats.Plans = ms.Plans
+	res.Stats.Commits = ms.Commits
+	res.Stats.Flushes = ms.Flushes
+	res.Stats.InvalLines = ms.InvalLines
+	for _, j := range e.jobs {
+		res.Stats.WorkNs += int64(j.work)
+		res.Stats.WasteNs += int64(j.waste)
+		res.Stats.SwitchNs += int64(j.switchTime)
+		res.Stats.MissNs += int64(j.missTime)
 	}
 	for _, j := range e.jobs {
 		rt := j.doneAt.Sub(j.arrival)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the per-campaign
@@ -47,12 +49,47 @@ type metrics struct {
 	reaped    atomic.Uint64 // terminal jobs evicted by TTL or MaxJobs cap
 	inflight  atomic.Int64
 
+	// Request-scoped span histograms, in nanoseconds (obs log2 buckets;
+	// two atomic adds per observation, no floating point until render).
+	spanCacheLookup obs.Histogram // result-cache Get on the submit path
+	spanAdmit       obs.Histogram // admission / singleflight attach
+	spanQueueWait   obs.Histogram // admitted -> dispatched by a worker
+	spanExec        obs.Histogram // campaign execution wall time
+
+	// sim aggregates the engine-level counters of every completed job's
+	// CampaignStats; guarded by simMu (folds are per-job, off the request
+	// hot path).
+	simMu sync.Mutex
+	sim   obs.SimStats
+
 	mu      sync.Mutex
 	latency map[string]*histogram // by campaign kind
 }
 
 func newMetrics(s *Server) *metrics {
 	return &metrics{server: s, latency: make(map[string]*histogram)}
+}
+
+// span records one request-phase duration into the given histogram.
+// Negative durations (clock steps) are clamped to zero rather than
+// wrapping into the top bucket.
+func span(h *obs.Histogram, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// foldSim merges one completed job's accumulated simulation counters
+// into the daemon-wide totals exposed at /metrics.
+func (m *metrics) foldSim(cs *obs.CampaignStats) {
+	if cs == nil {
+		return
+	}
+	snap := cs.Snapshot()
+	m.simMu.Lock()
+	m.sim.Merge(snap.Total)
+	m.simMu.Unlock()
 }
 
 // observe records one successful campaign execution's wall time.
@@ -100,6 +137,26 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	gauge("affinityd_cache_bytes", "Result-cache resident bytes.", cs.Bytes)
 	gauge("affinityd_cache_budget_bytes", "Result-cache byte budget.", cs.Budget)
 
+	// Engine-level simulation counters, folded from every completed job's
+	// per-run SimStats (the paper's Figure 1 decomposition).
+	m.simMu.Lock()
+	sim := m.sim
+	m.simMu.Unlock()
+	counter("affinityd_sim_runs_total", "Simulation runs executed by completed campaigns.", sim.Runs)
+	counter("affinityd_sim_events_total", "Discrete events fired by completed campaigns.", sim.Events)
+	counter("affinityd_sim_reallocations_total", "Processor reallocations (non-continuation dispatches).", sim.Reallocations)
+	counter("affinityd_sim_migrations_total", "Reallocations that moved a task to a different processor.", sim.Migrations)
+	counter("affinityd_sim_pa_charges_total", "Reallocations resuming on the last processor (P^A penalty).", sim.PACharges)
+	counter("affinityd_sim_pna_charges_total", "Reallocations with no useful footprint left (P^NA penalty).", sim.PNACharges)
+	counter("affinityd_sim_flushes_total", "Cache coherency invalidation sweeps.", sim.Flushes)
+	gauge("affinityd_sim_penalty_seconds_total", "Simulated cache-reload transient time (cpu-seconds).", trimFloat(float64(sim.PenaltyNs)/1e9))
+	gauge("affinityd_sim_eventq_peak", "Max pending-event depth across completed runs.", sim.EventqPeak)
+
+	nsHistogram(&b, "affinityd_request_cache_lookup_seconds", "Result-cache lookup latency on the submit path.", &m.spanCacheLookup)
+	nsHistogram(&b, "affinityd_request_admit_seconds", "Admission / singleflight-attach latency.", &m.spanAdmit)
+	nsHistogram(&b, "affinityd_request_queue_wait_seconds", "Time an admitted job waited before a worker dispatched it.", &m.spanQueueWait)
+	nsHistogram(&b, "affinityd_request_exec_seconds", "Campaign execution wall time per job.", &m.spanExec)
+
 	m.mu.Lock()
 	kinds := make([]string, 0, len(m.latency))
 	for k := range m.latency {
@@ -129,4 +186,32 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 
 func trimFloat(f float64) string {
 	return fmt.Sprintf("%g", f)
+}
+
+// nsHistogram bucket bounds rendered as Prometheus le labels: exponents
+// 10..36 of the obs log2 histogram, i.e. ~1 µs to ~69 s in powers of
+// two. Observations below the range fold into the first bucket's
+// cumulative count; above it, into +Inf.
+const (
+	nsHistMinExp = 10
+	nsHistMaxExp = 36
+)
+
+// nsHistogram renders an obs.Histogram of nanosecond observations in the
+// Prometheus text format, in seconds. Buckets are cumulative; the bound
+// of exponent i is (2^i - 1) ns. Counts are read via a snapshot, so one
+// render is internally consistent even while observations continue.
+func nsHistogram(b *strings.Builder, name, help string, h *obs.Histogram) {
+	snap := h.Snapshot()
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i := 0; i < obs.HistogramBuckets; i++ {
+		cum += snap.Counts[i]
+		if i >= nsHistMinExp && i <= nsHistMaxExp {
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, trimFloat(float64(obs.BucketBound(i))/1e9), cum)
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, trimFloat(float64(snap.Sum)/1e9))
+	fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
 }

@@ -28,16 +28,20 @@
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result completed job's body
+//	GET    /v1/jobs/{id}/stats  job's simulation-counter decomposition
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
+//	GET    /debug/pprof/...     runtime profiles (Config.EnablePprof only)
 package service
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -45,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/resultcache"
 	"repro/internal/version"
@@ -95,6 +100,12 @@ type Config struct {
 	// Runner substitutes the campaign executor (tests); nil uses the
 	// experiments registry.
 	Runner Runner
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
+	// off: the profiling surface stays closed unless explicitly opened).
+	EnablePprof bool
+	// StatsWriter, when non-nil, receives each completed job's
+	// response-time decomposition table (experiments.StatsReport).
+	StatsWriter io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +154,12 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// stats collects the job's engine-level simulation counters; the
+	// worker threads it to the campaign through the run context, so it
+	// never enters the params — cache keys and result bodies are
+	// untouched by instrumentation.
+	stats *obs.CampaignStats
 
 	// waiters counts synchronous requests blocked on this job; when the
 	// last one disconnects the job is cancelled (nobody wants the bits).
@@ -224,6 +241,7 @@ type Server struct {
 	jobs     map[string]*job // by id, all ever admitted
 	inflight map[string]*job // by cache key, queued or running only
 	jobSeq   uint64
+	reqSeq   atomic.Uint64 // X-Request-Id source
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -251,9 +269,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.serve)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -279,6 +305,19 @@ type campaignRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Request-Id", fmt.Sprintf("r%08d", s.reqSeq.Add(1)))
+	// A request landing between SIGTERM and the listener closing must get
+	// a prompt 503 telling the client to drop the connection — not parse
+	// work, not a queue slot, and never a wait on a job that shutdown is
+	// about to cancel.
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	var req campaignRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -310,19 +349,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.submitted.Add(1)
 
 	// Memoized result: serve the stored bytes verbatim.
-	if body, ok := s.cache.Get(key); ok {
+	lookupStart := time.Now()
+	body, hit := s.cache.Get(key)
+	span(&s.metrics.spanCacheLookup, time.Since(lookupStart))
+	if hit {
 		writeBody(w, body, "hit", key)
 		return
 	}
 
+	admitStart := time.Now()
 	j, admitted, err := s.admit(req.Kind, key, params)
+	span(&s.metrics.spanAdmit, time.Since(admitStart))
 	if err != nil {
 		switch err {
 		case errDraining:
+			w.Header().Set("Connection", "close")
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		case errQueueFull:
 			s.metrics.rejected.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+			// Ceil to whole seconds, floor 1: a sub-second hint used to
+			// round to "Retry-After: 0", which many clients treat as
+			// "retry immediately" — exactly wrong under overload.
+			ra := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+			if ra < 1 {
+				ra = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 			writeError(w, http.StatusTooManyRequests, "campaign queue is full; retry later")
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
@@ -426,6 +478,7 @@ func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*jo
 		kind:    kind,
 		key:     key,
 		params:  params,
+		stats:   obs.NewCampaignStats(),
 		status:  statusQueued,
 		created: time.Now(),
 		done:    make(chan struct{}),
@@ -543,9 +596,15 @@ func (s *Server) worker() {
 		j.status = statusRunning
 		j.started = time.Now()
 		j.mu.Unlock()
+		span(&s.metrics.spanQueueWait, j.started.Sub(j.created))
 		s.metrics.inflight.Add(1)
-		res, err := s.cfg.Runner(j.ctx, j.kind, j.params)
+		// The collector rides the context, not the params: the campaign
+		// registry attaches it to its run options, so stats flow out of
+		// band and the result bytes stay identical to an uninstrumented
+		// run.
+		res, err := s.cfg.Runner(obs.WithCollector(j.ctx, j.stats), j.kind, j.params)
 		elapsed := time.Since(j.started)
+		span(&s.metrics.spanExec, elapsed)
 		s.metrics.inflight.Add(-1)
 		switch {
 		case j.ctx.Err() != nil:
@@ -560,7 +619,13 @@ func (s *Server) worker() {
 			}
 			s.cache.Put(j.key, body)
 			s.metrics.observe(j.kind, elapsed)
+			s.metrics.foldSim(j.stats)
 			s.finish(j, statusDone, body, "")
+			if s.cfg.StatsWriter != nil {
+				t := experiments.StatsReport(j.stats)
+				t.Title = fmt.Sprintf("%s — job %s (%s)", t.Title, j.id, j.kind)
+				t.Write(s.cfg.StatsWriter)
+			}
 		}
 	}
 }
@@ -622,6 +687,27 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job not finished: "+string(st))
 	}
+}
+
+// handleJobStats serves a job's accumulated simulation counters — the
+// engine-side decomposition (reallocations, P^A/P^NA charges, penalty
+// time) that the result body deliberately omits so it stays bitwise
+// identical to an uninstrumented run. Available at any lifecycle stage;
+// a running job reports its progress so far.
+func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	st := j.status
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     j.id,
+		"kind":   j.kind,
+		"status": string(st),
+		"stats":  j.stats.Snapshot(),
+	})
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

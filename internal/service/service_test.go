@@ -434,6 +434,17 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"affinityd_cache_hits_total 1",
 		"affinityd_cache_misses_total 1",
 		`affinityd_campaign_latency_seconds_count{kind="table1"} 1`,
+		// Request spans: both submits look up the cache; only the miss
+		// is admitted, dispatched, and executed.
+		"affinityd_request_cache_lookup_seconds_count 2",
+		"affinityd_request_admit_seconds_count 1",
+		"affinityd_request_queue_wait_seconds_count 1",
+		"affinityd_request_exec_seconds_count 1",
+		`affinityd_request_exec_seconds_bucket{le="+Inf"} 1`,
+		// The stub runner carries no collector through the registry, so
+		// the engine counters exist but stay zero.
+		"affinityd_sim_runs_total 0",
+		"affinityd_sim_reallocations_total 0",
 	} {
 		if !strings.Contains(mb, want) {
 			t.Errorf("metrics missing %q\n%s", want, mb)
@@ -558,6 +569,174 @@ func TestResubmitAfterAbandonGetsFreshRun(t *testing.T) {
 	body := readAll(t, resp)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("resubmit after abandon: got %d (%s), want 200 from a fresh run", resp.StatusCode, body)
+	}
+}
+
+// TestRetryAfterNeverZero: a sub-second RetryAfter config used to round
+// to "Retry-After: 0", which clients treat as "retry immediately" —
+// amplifying the very overload the 429 is shedding. The hint must ceil
+// to whole seconds with a floor of 1.
+func TestRetryAfterNeverZero(t *testing.T) {
+	cases := []struct {
+		cfg  time.Duration
+		want string
+	}{
+		{100 * time.Millisecond, "1"},
+		{499 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.cfg.String(), func(t *testing.T) {
+			g := newGateRunner()
+			e := newEnv(t, Config{Runner: g.run, JobWorkers: 1, QueueDepth: 1, RetryAfter: tc.cfg})
+			// Occupy the worker and the single queue slot.
+			go e.submit(`{"kind":"characterize","params":{"seed":1}}`)
+			<-g.started
+			readAll(t, e.submit(`{"kind":"characterize","params":{"seed":2},"async":true}`))
+			r := e.submit(`{"kind":"characterize","params":{"seed":3}}`)
+			readAll(t, r)
+			if r.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("overload submit: %d, want 429", r.StatusCode)
+			}
+			if ra := r.Header.Get("Retry-After"); ra != tc.want {
+				t.Errorf("Retry-After = %q, want %q", ra, tc.want)
+			}
+			close(g.release)
+		})
+	}
+}
+
+// TestDrainRejectsSubmitsWithConnectionClose: a submission landing in
+// the window between SIGTERM (core draining) and the listener actually
+// closing must get an immediate 503 telling the client to drop the
+// connection — not attach to a job shutdown is about to cancel, and not
+// hang waiting on a worker pool that is winding down.
+func TestDrainRejectsSubmitsWithConnectionClose(t *testing.T) {
+	g := newGateRunner()
+	s := New(Config{Runner: g.run, JobWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Put one job in flight so Shutdown blocks mid-drain.
+	r1, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"kind":"characterize","params":{"seed":1},"async":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, r1)
+	<-g.started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+	// Wait until the core is actually draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+			strings.NewReader(`{"kind":"characterize","params":{"seed":2}}`))
+		if err != nil {
+			t.Errorf("mid-drain submit failed: %v", err)
+			return
+		}
+		readAll(t, r)
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("mid-drain submit: %d, want 503", r.StatusCode)
+		}
+		// Go's client consumes the hop-by-hop Connection header but
+		// reports its effect: Close is true iff the server sent
+		// "Connection: close".
+		if !r.Close {
+			t.Error("response did not carry Connection: close")
+		}
+		if rid := r.Header.Get("X-Request-Id"); rid == "" {
+			t.Error("X-Request-Id header missing")
+		}
+	}()
+	select {
+	case <-done:
+		// Responded while the in-flight job was still running: no hang.
+	case <-time.After(5 * time.Second):
+		t.Fatal("mid-drain submit hung instead of returning 503")
+	}
+	close(g.release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestJobStatsEndpoint: every job exposes its simulation-counter
+// snapshot out of band at /v1/jobs/{id}/stats, at any lifecycle stage.
+func TestJobStatsEndpoint(t *testing.T) {
+	g := newGateRunner()
+	e := newEnv(t, Config{Runner: g.run})
+
+	resp := e.submit(`{"kind":"characterize","params":{"seed":3},"async":true}`)
+	var v jobView
+	json.Unmarshal(readAll(t, resp), &v)
+	<-g.started
+
+	r, err := http.Get(e.url + "/v1/jobs/" + v.ID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := readAll(t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stats while running: %d %s", r.StatusCode, b)
+	}
+	var payload struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Stats  struct {
+			Cells uint64          `json:"cells"`
+			Total json.RawMessage `json:"total"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(b, &payload); err != nil {
+		t.Fatalf("stats body %s: %v", b, err)
+	}
+	if payload.ID != v.ID || payload.Status != "running" || len(payload.Stats.Total) == 0 {
+		t.Errorf("stats payload %s", b)
+	}
+	close(g.release)
+	if r, _ := http.Get(e.url + "/v1/jobs/zzz/stats"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job stats: %d, want 404", r.StatusCode)
+	}
+}
+
+// TestPprofGating: the profiling surface exists only when explicitly
+// enabled.
+func TestPprofGating(t *testing.T) {
+	off := newEnv(t, Config{Runner: countingRunner(new(atomic.Int64), 0)})
+	if r, err := http.Get(off.url + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else if readAll(t, r); r.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof: %d, want 404", r.StatusCode)
+	}
+	on := newEnv(t, Config{Runner: countingRunner(new(atomic.Int64), 0), EnablePprof: true})
+	if r, err := http.Get(on.url + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	} else if b := readAll(t, r); r.StatusCode != http.StatusOK || !strings.Contains(string(b), "goroutine") {
+		t.Errorf("pprof index with EnablePprof: %d %.80s", r.StatusCode, b)
 	}
 }
 

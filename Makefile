@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke obs-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke obs-smoke cell-smoke ci
 
 all: build
 
@@ -73,4 +73,12 @@ serve-smoke:
 obs-smoke:
 	$(GO) test -race -count=1 -run 'TestObsSmoke' ./cmd/affinityd/
 
-ci: vet build race bench-smoke bench-cache serve-smoke obs-smoke
+# The incremental-reuse gate: starts a table1 campaign, kills the daemon
+# core mid-grid, and re-submits on a second server sharing the same cell
+# cache — requiring that only the never-completed cells execute (per the
+# affinityd_cell_* metrics) and that the resumed body is byte-identical
+# to a cold, uninterrupted run.
+cell-smoke:
+	$(GO) test -race -count=1 -run 'TestCellSmoke' ./cmd/affinityd/
+
+ci: vet build race bench-smoke bench-cache serve-smoke obs-smoke cell-smoke

@@ -2,7 +2,11 @@
 // long-running HTTP/JSON daemon: POST a campaign request, get the result
 // body — memoized in a content-addressed cache, deduplicated against
 // identical in-flight requests, admission-controlled behind a bounded
-// queue, and cancellable. See internal/service for the API and semantics.
+// queue, and cancellable. Campaigns execute cell by cell through a
+// second content-addressed cache, so overlapping or re-submitted
+// campaigns re-run only the cells they have never completed, and
+// GET /v1/jobs/{id}/events streams per-cell progress as NDJSON.
+// See internal/service for the API and semantics.
 //
 // Usage:
 //
@@ -33,6 +37,9 @@
 //	curl -s localhost:8642/healthz
 //	curl -s -X POST localhost:8642/v1/campaigns \
 //	     -d '{"kind":"table1","params":{"fast":true}}'
+//	curl -s localhost:8642/v1/campaigns            # kinds + param schemas
+//	curl -s 'localhost:8642/v1/jobs?status=done&limit=10'
+//	curl -sN localhost:8642/v1/jobs/j00000001/events  # NDJSON progress
 //
 // SIGINT/SIGTERM drain gracefully: queued jobs are cancelled, in-flight
 // jobs run to completion (up to -drain-sec), then the listener closes.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/resultcache"
 	"repro/internal/service"
 )
 
@@ -245,5 +247,152 @@ func TestSigtermDrains(t *testing.T) {
 	}
 	if !strings.Contains(out, "drained, exiting") {
 		t.Errorf("shutdown output missing drain message:\n%s", out)
+	}
+}
+
+// TestCellSmoke is the `make cell-smoke` gate: start a table1 campaign,
+// kill the daemon core mid-grid via an expired drain context, then
+// re-submit the identical campaign on a second server sharing the same
+// cell cache. The resumed run must execute only the cells the first one
+// never completed (visible in the affinityd_cell_* metrics) and produce
+// a body byte-identical to a cold, uninterrupted run.
+func TestCellSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs in -short mode")
+	}
+	const totalCells = 9 // table1: 3 Qs x 3 measured applications
+	req := `{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"reps":1,"workers":1}}`
+
+	listen := func(srv *service.Server) (string, *http.Server) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		return "http://" + ln.Addr().String(), hs
+	}
+	post := func(base, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, b
+	}
+
+	// Cold, uninterrupted reference run on a private server.
+	coldSrv := service.New(service.Config{QueueDepth: 4, JobWorkers: 1})
+	coldBase, coldHS := listen(coldSrv)
+	defer coldHS.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		coldSrv.Shutdown(ctx)
+	}()
+	cr, coldBody := post(coldBase, req)
+	if cr.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %d %s", cr.StatusCode, coldBody)
+	}
+
+	// Server A shares `cells` with the resuming server B.
+	cells := resultcache.New(64 << 20)
+	srvA := service.New(service.Config{QueueDepth: 4, JobWorkers: 1, CellCache: cells})
+	baseA, hsA := listen(srvA)
+	defer hsA.Close()
+	ar, ab := post(baseA, strings.TrimSuffix(req, "}")+`,"async":true}`)
+	if ar.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", ar.StatusCode, ab)
+	}
+	var jv struct {
+		ID         string `json:"id"`
+		Status     string `json:"status"`
+		CellsDone  int    `json:"cells_done"`
+		CellsTotal int    `json:"cells_total"`
+	}
+	if err := json.Unmarshal(ab, &jv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the campaign pass roughly half its grid, then pull the plug:
+	// an already-cancelled drain context turns Shutdown into a hard stop
+	// that cancels the in-flight job between cells.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(baseA + "/v1/jobs/" + jv.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(b, &jv); err != nil {
+			t.Fatalf("job poll: %v (%s)", err, b)
+		}
+		if jv.CellsDone >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never reached 4 cells: %s", b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	killed, cancelKilled := context.WithCancel(context.Background())
+	cancelKilled()
+	srvA.Shutdown(killed) // returns context.Canceled by design; the point is the hard stop
+
+	// Server B resumes from the shared cell cache.
+	srvB := service.New(service.Config{QueueDepth: 4, JobWorkers: 1, CellCache: cells})
+	baseB, hsB := listen(srvB)
+	defer hsB.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srvB.Shutdown(ctx)
+	}()
+	br, warmBody := post(baseB, req)
+	if br.StatusCode != http.StatusOK {
+		t.Fatalf("resumed run: %d %s", br.StatusCode, warmBody)
+	}
+	if !bytes.Equal(warmBody, coldBody) {
+		t.Errorf("resumed body differs from cold run:\n%.200s\n%.200s", warmBody, coldBody)
+	}
+
+	// The resumed run reused every cell the killed run completed and
+	// executed exactly the remainder.
+	mr, err := http.Get(baseB + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	metric := func(name string) int {
+		for _, line := range strings.Split(string(mb), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == name {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					t.Fatalf("%s: bad value %q", name, fields[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metrics missing series %s:\n%s", name, mb)
+		return 0
+	}
+	hits := metric("affinityd_cell_hits_total")
+	execs := metric("affinityd_cell_executions_total")
+	misses := metric("affinityd_cell_misses_total")
+	if hits < 4 {
+		t.Errorf("resumed run reused %d cells, want >= 4", hits)
+	}
+	if hits+execs != totalCells || misses != execs {
+		t.Errorf("cell accounting: hits=%d misses=%d executions=%d, want hits+executions=%d and misses=executions",
+			hits, misses, execs, totalCells)
 	}
 }

@@ -441,6 +441,21 @@ func All() []alloc.Policy {
 	}
 }
 
+// PolicyNames lists the canonical names ByName accepts (lowercase
+// aliases excluded), in presentation order — the space-sharing policies
+// of Sections 5-6 followed by the Section-8 time-sharing pair.
+func PolicyNames() []string {
+	return []string{
+		"Equipartition",
+		"Dynamic",
+		"Dyn-Aff",
+		"Dyn-Aff-Delay",
+		"Dyn-Aff-NoPri",
+		"TimeShare-RR",
+		"TimeShare-Aff",
+	}
+}
+
 // ByName constructs a policy by its paper name.
 func ByName(name string) (alloc.Policy, bool) {
 	switch name {

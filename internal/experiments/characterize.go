@@ -45,46 +45,15 @@ func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) 
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	mixApps := []workload.App{}
-	for _, m := range []workload.Mix{{Number: 0, MVA: 1}, {Number: 0, Matrix: 1}, {Number: 0, Gravity: 1}} {
-		mixApps = append(mixApps, opts.apps(m, opts.Seed)...)
-	}
+	mixApps := characterizeApps(opts)
 	out := make([]AppCharacter, len(mixApps))
 	simStats := make([]obs.SimStats, len(mixApps))
 	err := parallel.ForEach(ctx, opts.Workers, len(mixApps), func(ctx context.Context, i int) error {
-		app := mixApps[i]
-		res, err := runSim(sched.Config{
-			Machine: opts.Machine,
-			Policy:  core.NewEquipartition(),
-			Apps:    []workload.App{app},
-			Seed:    opts.Seed,
-		})
+		ch, st, err := characterizeApp(opts, mixApps[i])
 		if err != nil {
 			return err
 		}
-		simStats[i] = res.Stats
-		j := res.Jobs[0]
-		elapsed := j.ResponseTime.SecondsF()
-		ch := AppCharacter{
-			Name:           app.Name,
-			ElapsedSec:     elapsed,
-			TotalWorkSec:   app.Graph.TotalWork().SecondsF(),
-			MaxParallelism: app.MaxParallelism(),
-			Threads:        app.Graph.NumThreads(),
-		}
-		var weighted, total float64
-		for level, d := range res.Profile {
-			weighted += float64(level) * d.SecondsF()
-			total += d.SecondsF()
-		}
-		ch.ProfilePct = make([]float64, len(res.Profile))
-		if total > 0 {
-			for level, d := range res.Profile {
-				ch.ProfilePct[level] = 100 * d.SecondsF() / total
-			}
-			ch.AvgDemand = weighted / total
-		}
-		out[i] = ch
+		out[i], simStats[i] = ch, st
 		return nil
 	})
 	if err != nil {
@@ -96,6 +65,54 @@ func CharacterizeCtx(ctx context.Context, opts Options) ([]AppCharacter, error) 
 		})
 	}
 	return out, nil
+}
+
+// characterizeApps returns the applications characterized in isolation:
+// the three single-application mixes instantiated at the configured
+// scale, in fixed order.
+func characterizeApps(opts Options) []workload.App {
+	mixApps := []workload.App{}
+	for _, m := range []workload.Mix{{Number: 0, MVA: 1}, {Number: 0, Matrix: 1}, {Number: 0, Gravity: 1}} {
+		mixApps = append(mixApps, opts.apps(m, opts.Seed)...)
+	}
+	return mixApps
+}
+
+// characterizeApp simulates one application alone under Equipartition and
+// derives its Figures 2-4 character. Shared by the monolithic campaign
+// and the per-app cell path, so both produce identical values.
+func characterizeApp(opts Options, app workload.App) (AppCharacter, obs.SimStats, error) {
+	res, err := runSim(sched.Config{
+		Machine: opts.Machine,
+		Policy:  core.NewEquipartition(),
+		Apps:    []workload.App{app},
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return AppCharacter{}, obs.SimStats{}, err
+	}
+	j := res.Jobs[0]
+	elapsed := j.ResponseTime.SecondsF()
+	ch := AppCharacter{
+		Name:           app.Name,
+		ElapsedSec:     elapsed,
+		TotalWorkSec:   app.Graph.TotalWork().SecondsF(),
+		MaxParallelism: app.MaxParallelism(),
+		Threads:        app.Graph.NumThreads(),
+	}
+	var weighted, total float64
+	for level, d := range res.Profile {
+		weighted += float64(level) * d.SecondsF()
+		total += d.SecondsF()
+	}
+	ch.ProfilePct = make([]float64, len(res.Profile))
+	if total > 0 {
+		for level, d := range res.Profile {
+			ch.ProfilePct[level] = 100 * d.SecondsF() / total
+		}
+		ch.AvgDemand = weighted / total
+	}
+	return ch, res.Stats, nil
 }
 
 // CharacterTable renders the characterization as a table in the spirit of

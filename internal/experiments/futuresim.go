@@ -52,15 +52,7 @@ func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, pol
 	// configuration errors surface immediately and deterministically.
 	scaled := make([]machine.Config, len(products))
 	for i, prod := range products {
-		if prod < 1 {
-			return nil, fmt.Errorf("experiments: product %v below 1", prod)
-		}
-		factor := math.Sqrt(prod)
-		cacheScale := int(factor + 0.5)
-		if cacheScale < 1 {
-			cacheScale = 1
-		}
-		mc, err := opts.Machine.Scaled(factor, cacheScale)
+		mc, err := futureSimMachine(opts.Machine, prod)
 		if err != nil {
 			return nil, err
 		}
@@ -124,6 +116,21 @@ func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, pol
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// futureSimMachine scales the base machine to one speed*cache product
+// point of the Figure 8-13 axis: processor speed grows by √product and
+// the cache by the nearest integer multiple of √product (floor 1).
+func futureSimMachine(base machine.Config, product float64) (machine.Config, error) {
+	if product < 1 {
+		return machine.Config{}, fmt.Errorf("experiments: product %v below 1", product)
+	}
+	factor := math.Sqrt(product)
+	cacheScale := int(factor + 0.5)
+	if cacheScale < 1 {
+		cacheScale = 1
+	}
+	return base.Scaled(factor, cacheScale)
 }
 
 // FutureSimTable renders the simulated-future comparison against the

@@ -56,10 +56,20 @@ type CampaignParams struct {
 }
 
 // options folds the params into an Options value. Zero means default;
-// negative values are rejected rather than silently defaulted.
+// negative values are rejected rather than silently defaulted, each named
+// by its wire field path.
 func (p CampaignParams) options() (Options, error) {
-	if p.Procs < 0 || p.Replications < 0 || p.BudgetSec < 0 || p.AppScale < 0 {
-		return Options{}, fmt.Errorf("experiments: negative campaign parameter in %+v", p)
+	switch {
+	case p.Procs < 0:
+		return Options{}, &ParamError{Field: "params.procs", Msg: "must be >= 0"}
+	case p.Replications < 0:
+		return Options{}, &ParamError{Field: "params.reps", Msg: "must be >= 0"}
+	case p.BudgetSec < 0:
+		return Options{}, &ParamError{Field: "params.budget_sec", Msg: "must be >= 0"}
+	case p.AppScale < 0:
+		return Options{}, &ParamError{Field: "params.app_scale", Msg: "must be >= 0"}
+	case p.Workers < 0:
+		return Options{}, &ParamError{Field: "params.workers", Msg: "must be >= 0"}
 	}
 	o := DefaultOptions()
 	if p.Fast {
@@ -153,7 +163,7 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 	case "compare":
 		if p.Mix != 0 {
 			if _, err := workload.MixByNumber(p.Mix); err != nil {
-				return CampaignParams{}, err
+				return CampaignParams{}, &ParamError{Field: "params.mix", Msg: err.Error()}
 			}
 			n.Mix = p.Mix
 		}
@@ -172,7 +182,8 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 			n.MaxProduct = 4096
 		}
 		if n.MaxProduct < 1 {
-			return CampaignParams{}, fmt.Errorf("experiments: max_product must be >= 1, got %v", n.MaxProduct)
+			return CampaignParams{}, &ParamError{Field: "params.max_product",
+				Msg: fmt.Sprintf("must be >= 1, got %v", n.MaxProduct)}
 		}
 	case "futuresim":
 		n.Mix = p.Mix
@@ -180,7 +191,7 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 			n.Mix = 5
 		}
 		if _, err := workload.MixByNumber(n.Mix); err != nil {
-			return CampaignParams{}, err
+			return CampaignParams{}, &ParamError{Field: "params.mix", Msg: err.Error()}
 		}
 		n.Policies = p.Policies
 		if len(n.Policies) == 0 {
@@ -190,17 +201,19 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 		if len(n.Products) == 0 {
 			n.Products = []float64{1, 16, 64, 256, 1024}
 		}
-		for _, prod := range n.Products {
+		for i, prod := range n.Products {
 			if prod < 1 {
-				return CampaignParams{}, fmt.Errorf("experiments: product %v below 1", prod)
+				return CampaignParams{}, &ParamError{Field: fmt.Sprintf("params.products[%d]", i),
+					Msg: fmt.Sprintf("product %v below 1", prod)}
 			}
 		}
 	default:
 		return CampaignParams{}, fmt.Errorf("experiments: unknown campaign kind %q", c.Kind)
 	}
-	for _, pol := range n.Policies {
+	for i, pol := range n.Policies {
 		if _, ok := core.ByName(pol); !ok {
-			return CampaignParams{}, fmt.Errorf("experiments: unknown policy %q", pol)
+			return CampaignParams{}, &ParamError{Field: fmt.Sprintf("params.policies[%d]", i),
+				Msg: fmt.Sprintf("unknown policy %q", pol)}
 		}
 	}
 	return n, nil

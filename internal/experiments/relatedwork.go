@@ -68,7 +68,7 @@ func RelatedWorkCtx(ctx context.Context, opts Options) (*RelatedWorkResult, erro
 	if err != nil {
 		return nil, err
 	}
-	policies := []string{"TimeShare-RR", "TimeShare-Aff", "Dynamic", "Dyn-Aff"}
+	policies := relatedWorkPolicies()
 	// Fan the (policy, replication) cells out; idx = pi*R + rep.
 	R := opts.Replications
 	runs := make([]sched.Result, len(policies)*R)
@@ -100,23 +100,46 @@ func RelatedWorkCtx(ctx context.Context, opts Options) (*RelatedWorkResult, erro
 			opts.Stats.Add(policies[idx/R], r.Stats)
 		})
 	}
-	res := &RelatedWorkResult{}
-	byName := make(map[string]*RelatedWorkRow, len(policies))
+	rows := make([]RelatedWorkRow, len(policies))
 	for pi, polName := range policies {
-		var row RelatedWorkRow
-		row.Policy = polName
-		for rep := 0; rep < R; rep++ {
-			r := runs[pi*R+rep]
-			n := float64(R)
-			row.MeanRT += r.MeanResponse() / n
-			for _, j := range r.Jobs {
-				row.MissSec += j.MissTime.SecondsF() / n
-				row.Reallocations += j.Reallocations / R
-				row.PctAffinity += j.PctAffinity() / (n * float64(len(r.Jobs)))
-			}
+		rows[pi] = relatedWorkRowFrom(polName, runs[pi*R:(pi+1)*R])
+	}
+	return relatedWorkDerive(rows), nil
+}
+
+// relatedWorkPolicies lists the Section-8 contrast's four policies: time
+// sharing with and without affinity, then space sharing likewise.
+func relatedWorkPolicies() []string {
+	return []string{"TimeShare-RR", "TimeShare-Aff", "Dynamic", "Dyn-Aff"}
+}
+
+// relatedWorkRowFrom aggregates one policy's replications in replication
+// order. Shared by the monolithic campaign and the per-policy cell path,
+// so both accumulate bitwise identically.
+func relatedWorkRowFrom(polName string, runs []sched.Result) RelatedWorkRow {
+	R := len(runs)
+	var row RelatedWorkRow
+	row.Policy = polName
+	for rep := 0; rep < R; rep++ {
+		r := runs[rep]
+		n := float64(R)
+		row.MeanRT += r.MeanResponse() / n
+		for _, j := range r.Jobs {
+			row.MissSec += j.MissTime.SecondsF() / n
+			row.Reallocations += j.Reallocations / R
+			row.PctAffinity += j.PctAffinity() / (n * float64(len(r.Jobs)))
 		}
-		res.Rows = append(res.Rows, row)
-		byName[polName] = &res.Rows[len(res.Rows)-1]
+	}
+	return row
+}
+
+// relatedWorkDerive computes the affinity-gain contrasts from the
+// per-policy rows.
+func relatedWorkDerive(rows []RelatedWorkRow) *RelatedWorkResult {
+	res := &RelatedWorkResult{Rows: rows}
+	byName := make(map[string]*RelatedWorkRow, len(rows))
+	for i := range res.Rows {
+		byName[res.Rows[i].Policy] = &res.Rows[i]
 	}
 	gain := func(base, aff string) float64 {
 		b, a := byName[base].MeanRT, byName[aff].MeanRT
@@ -136,7 +159,7 @@ func RelatedWorkCtx(ctx context.Context, opts Options) (*RelatedWorkResult, erro
 	}
 	res.TimeSharingMissGain = missGain("TimeShare-RR", "TimeShare-Aff")
 	res.SpaceSharingMissGain = missGain("Dynamic", "Dyn-Aff")
-	return res, nil
+	return res
 }
 
 // RelatedWorkTable renders the comparison.

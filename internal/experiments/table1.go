@@ -47,6 +47,20 @@ func Table1Ctx(ctx context.Context, opts Options) (measure.Table1, error) {
 // are identical at every worker count.
 func table1Stats(mc machine.Config, t1 measure.Table1, budget simtime.Duration) obs.SimStats {
 	var s obs.SimStats
+	for _, q := range t1.Qs {
+		for _, app := range t1.Apps {
+			s.Merge(table1CellStats(mc, t1.Cells[q][app], t1.Apps, budget))
+		}
+	}
+	return s
+}
+
+// table1CellStats is one (Q, measured application) cell's contribution to
+// the protocol's SimStats; table1Stats sums these in grid order, and the
+// cell execution path folds them one cell at a time. All fields are
+// integer, so the totals agree regardless of grouping.
+func table1CellStats(mc machine.Config, pen measure.Penalties, apps []string, budget simtime.Duration) obs.SimStats {
+	var s obs.SimStats
 	addRun := func(r measure.RunResult) {
 		s.Runs++
 		s.WorkNs += int64(budget)
@@ -59,24 +73,19 @@ func table1Stats(mc machine.Config, t1 measure.Table1, budget simtime.Duration) 
 		}
 		return 0
 	}
-	for _, q := range t1.Qs {
-		for _, app := range t1.Apps {
-			pen := t1.Cells[q][app]
-			addRun(pen.Stationary)
-			addRun(pen.Migrating)
-			s.Reallocations += uint64(pen.Migrating.Switches)
-			s.Migrations += uint64(pen.Migrating.Switches)
-			s.PNACharges += uint64(pen.Migrating.Switches)
-			s.Flushes += uint64(pen.Migrating.Switches)
-			s.PenaltyNs += delta(pen.Migrating, pen.Stationary)
-			for _, iv := range t1.Apps {
-				multi := pen.Multi[iv]
-				addRun(multi)
-				s.Reallocations += uint64(multi.Switches)
-				s.PACharges += uint64(multi.Switches)
-				s.PenaltyNs += delta(multi, pen.Stationary)
-			}
-		}
+	addRun(pen.Stationary)
+	addRun(pen.Migrating)
+	s.Reallocations += uint64(pen.Migrating.Switches)
+	s.Migrations += uint64(pen.Migrating.Switches)
+	s.PNACharges += uint64(pen.Migrating.Switches)
+	s.Flushes += uint64(pen.Migrating.Switches)
+	s.PenaltyNs += delta(pen.Migrating, pen.Stationary)
+	for _, iv := range apps {
+		multi := pen.Multi[iv]
+		addRun(multi)
+		s.Reallocations += uint64(multi.Switches)
+		s.PACharges += uint64(multi.Switches)
+		s.PenaltyNs += delta(multi, pen.Stationary)
 	}
 	return s
 }

@@ -371,6 +371,33 @@ func perSwitch(delta simtime.Duration, switches int) simtime.Duration {
 	return d
 }
 
+// MeasureCell runs the Section-4 protocol for a single (Q, measured
+// application) cell of Table 1 in isolation. It reproduces the matching
+// BuildTable1Ctx cell bitwise: the measured and intervening streams
+// depend only on (pattern, budget, seed) — Q never enters stream
+// construction — so rebuilding them here replays exactly the references
+// the shared-stream table build replays. The cell caches of the sharded
+// campaign path rely on this identity.
+func MeasureCell(mc machine.Config, patterns []memtrace.Pattern, measured int, q, budget simtime.Duration, seed uint64) (Penalties, error) {
+	if measured < 0 || measured >= len(patterns) {
+		return Penalties{}, fmt.Errorf("measure: measured index %d out of range [0,%d)", measured, len(patterns))
+	}
+	if err := mc.Validate(); err != nil {
+		return Penalties{}, err
+	}
+	opts := Options{Q: q, Budget: budget, Seed: seed}
+	if err := opts.Validate(); err != nil {
+		return Penalties{}, err
+	}
+	streamOpts := Options{Q: budget, Budget: budget, Seed: seed}
+	ms := measuredStream(patterns[measured], streamOpts)
+	ivs := make([]*Stream, len(patterns))
+	for i, p := range patterns {
+		ivs[i] = interveningStream(p, streamOpts)
+	}
+	return measurePenalties(mc, patterns[measured].Name, ms, patterns, ivs, opts)
+}
+
 // Table1 reproduces the paper's Table 1: for every measured application,
 // every intervening application, and every Q, the penalties P^NA and P^A.
 type Table1 struct {

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/machine"
@@ -201,5 +202,40 @@ func TestBuildTable1Shape(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestMeasureCellMatchesBuildTable1 checks the single-cell entry point
+// reproduces the corresponding BuildTable1 cell exactly — the contract
+// the experiments layer's cell decomposition relies on.
+func TestMeasureCellMatchesBuildTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement runs in -short mode")
+	}
+	mc := machine.Symmetry()
+	pats := memtrace.Patterns()
+	qs := []simtime.Duration{25 * simtime.Millisecond, 100 * simtime.Millisecond}
+	budget := 500 * simtime.Millisecond
+	tbl, err := BuildTable1(mc, pats, qs, budget, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		for pi, p := range pats {
+			pen, err := MeasureCell(mc, pats, pi, q, budget, 7)
+			if err != nil {
+				t.Fatalf("%s at Q=%v: %v", p.Name, q, err)
+			}
+			if !reflect.DeepEqual(pen, tbl.Cells[q][p.Name]) {
+				t.Errorf("%s at Q=%v: MeasureCell differs from BuildTable1 cell\ncell:  %+v\ntable: %+v",
+					p.Name, q, pen, tbl.Cells[q][p.Name])
+			}
+		}
+	}
+	if _, err := MeasureCell(mc, pats, -1, qs[0], budget, 7); err == nil {
+		t.Error("negative measured index accepted")
+	}
+	if _, err := MeasureCell(mc, pats, len(pats), qs[0], budget, 7); err == nil {
+		t.Error("out-of-range measured index accepted")
 	}
 }

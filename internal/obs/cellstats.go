@@ -1,0 +1,21 @@
+package obs
+
+// CellStats counts the serving layer's cell-level execution: how many of
+// a campaign's cells were satisfied from the per-cell result cache, how
+// many had to execute, and how long executions and merges took. Like the
+// other obs types it is written lock-free on the hot path and rendered
+// at /metrics.
+type CellStats struct {
+	// Hits counts cells satisfied from the cell cache without executing.
+	Hits Counter
+	// Misses counts cell-cache lookups that found nothing; each miss is
+	// followed by an execution attempt.
+	Misses Counter
+	// Executions counts cells executed and encoded to completion
+	// (Misses minus cells aborted by cancellation or error).
+	Executions Counter
+	// ExecNs is the per-cell execution wall time in nanoseconds.
+	ExecNs Histogram
+	// MergeNs is the per-campaign merge wall time in nanoseconds.
+	MergeNs Histogram
+}

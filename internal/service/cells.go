@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/resultcache"
+	"repro/internal/version"
+)
+
+// This file is the cell execution path: when the server runs the real
+// campaign registry (Config.Runner == nil), a job is not executed as one
+// opaque call but as its experiments.CellPlan — every cell is looked up
+// in the per-cell result cache, only the missing ones execute, and each
+// completed cell is cached immediately. A campaign cancelled mid-flight
+// therefore leaves its finished cells behind, and a re-submission (or a
+// superset campaign sharing a sub-grid) resumes instead of restarting.
+// The merged body is byte-identical to a monolithic run — the
+// experiments-layer contract pinned by TestCellMergeMatchesMonolithic —
+// so the campaign-level cache and the cell cache never disagree.
+
+// jobEvent is one NDJSON line of GET /v1/jobs/{id}/events: a "cell"
+// progress event per completed cell, then exactly one terminal event
+// ("done", "failed", or "canceled") before the stream closes.
+type jobEvent struct {
+	APIVersion string `json:"api_version"`
+	// Type is "cell" for per-cell progress, or the terminal job status.
+	Type  string `json:"type"`
+	JobID string `json:"job_id"`
+	// Seq increments by one per event within the job, from 1.
+	Seq int `json:"seq"`
+	// Cell names the completed cell ("q=100ms/app=MVA"); empty on
+	// terminal events.
+	Cell string `json:"cell,omitempty"`
+	// Index is the cell's position in the plan; -1 on terminal events.
+	Index int `json:"index"`
+	// Cache is "hit" or "miss" for cell events — and "miss" on terminal
+	// events, mirroring the X-Cache header a synchronous submit would
+	// have carried (a job only exists for a fresh run).
+	Cache          string `json:"cache,omitempty"`
+	CellsTotal     int    `json:"cells_total"`
+	CellsDone      int    `json:"cells_done"`
+	CellsFromCache int    `json:"cells_from_cache"`
+	// RequestID mirrors the X-Request-Id of the submitting request.
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// cellTracker accumulates a job's cell progress and its event log.
+// Readers (status views, the events stream) and writers (the executing
+// worker, setTerminal) synchronize on its own lock, never the job's.
+type cellTracker struct {
+	mu        sync.Mutex
+	total     int
+	done      int
+	fromCache int
+	events    []jobEvent
+	// changed is closed and replaced whenever an event is appended;
+	// stream handlers park on the current instance.
+	changed chan struct{}
+}
+
+func newCellTracker() *cellTracker {
+	return &cellTracker{changed: make(chan struct{})}
+}
+
+func (t *cellTracker) setTotal(n int) {
+	t.mu.Lock()
+	t.total = n
+	t.mu.Unlock()
+}
+
+func (t *cellTracker) counts() (total, done, fromCache int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total, t.done, t.fromCache
+}
+
+// appendLocked stamps the event with the tracker's current counts and
+// sequence, appends it, and wakes stream readers. Callers hold t.mu.
+func (t *cellTracker) appendLocked(ev jobEvent) {
+	ev.APIVersion = apiVersion
+	ev.Seq = len(t.events) + 1
+	ev.CellsTotal = t.total
+	ev.CellsDone = t.done
+	ev.CellsFromCache = t.fromCache
+	t.events = append(t.events, ev)
+	close(t.changed)
+	t.changed = make(chan struct{})
+}
+
+// recordCell logs one completed cell; cache is "hit" or "miss".
+func (t *cellTracker) recordCell(jobID, cellID string, index int, cache string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if cache == "hit" {
+		t.fromCache++
+	}
+	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache})
+}
+
+// recordTerminal logs the job's final event. Called from setTerminal
+// before j.done closes, so a stream reader woken by the close is
+// guaranteed to observe it.
+func (t *cellTracker) recordTerminal(ev jobEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ev.Index = -1
+	t.appendLocked(ev)
+}
+
+// snapshot returns the event log so far and the channel that closes on
+// the next append.
+func (t *cellTracker) snapshot() ([]jobEvent, <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events[:len(t.events):len(t.events)], t.changed
+}
+
+// runCells executes one job through its cell plan, reusing cached cells
+// and caching fresh ones as they complete. It returns the merged
+// campaign body, canonically encoded.
+func (s *Server) runCells(j *job) ([]byte, error) {
+	plan, err := experiments.Cells(j.kind, j.params)
+	if err != nil {
+		return nil, err
+	}
+	j.cells.setTotal(len(plan.Cells))
+	ctx := obs.WithCollector(j.ctx, j.stats)
+	partials := make([][]byte, len(plan.Cells))
+	err = parallel.ForEach(ctx, j.params.Workers, len(plan.Cells), func(ctx context.Context, i int) error {
+		cell := &plan.Cells[i]
+		key := resultcache.Key(cell.KeyKind, cell.KeyParams, version.Engine)
+		if body, ok := s.cellCache.Get(key); ok {
+			s.metrics.cells.Hits.Inc()
+			partials[i] = body
+			j.cells.recordCell(j.id, cell.ID, i, "hit")
+			return nil
+		}
+		s.metrics.cells.Misses.Inc()
+		start := time.Now()
+		res, err := cell.Run(ctx)
+		if err != nil {
+			return err
+		}
+		body, err := report.CanonicalJSON(res)
+		if err != nil {
+			return fmt.Errorf("encode cell %s: %w", cell.ID, err)
+		}
+		s.metrics.cells.Executions.Inc()
+		span(&s.metrics.cells.ExecNs, time.Since(start))
+		// Cache the partial the moment it completes: a drain or cancel
+		// later in the campaign keeps this cell's work, so the next
+		// submission resumes from here.
+		s.cellCache.Put(key, body)
+		partials[i] = body
+		j.cells.recordCell(j.id, cell.ID, i, "miss")
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := plan.Merge(j.ctx, partials)
+	if err != nil {
+		return nil, err
+	}
+	body, err := report.CanonicalJSON(res)
+	if err != nil {
+		return nil, fmt.Errorf("encode result: %w", err)
+	}
+	span(&s.metrics.cells.MergeNs, time.Since(start))
+	return body, nil
+}
+
+// handleJobEvents streams a job's progress as NDJSON: one jobEvent line
+// per completed cell, then the terminal event, then EOF. A stream opened
+// after the job finished replays the recorded log — the stream is
+// deterministic with respect to the job, not the connection.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobByID(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	emit := func(events []jobEvent) {
+		for _, ev := range events[sent:] {
+			enc.Encode(ev)
+		}
+		sent = len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for {
+		events, changed := j.cells.snapshot()
+		emit(events)
+		select {
+		case <-j.done:
+			// The terminal event is recorded before done closes, so one
+			// final snapshot drains everything.
+			events, _ := j.cells.snapshot()
+			emit(events)
+			return
+		default:
+		}
+		select {
+		case <-changed:
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

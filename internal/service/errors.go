@@ -1,0 +1,53 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/experiments"
+)
+
+// apiVersion stamps every /v1 JSON body (job views, listings, error
+// envelopes, stream events) so clients can detect surface changes
+// without relying on response headers.
+const apiVersion = "v1"
+
+// apiError is the machine-readable error payload carried by every
+// non-2xx /v1 response.
+type apiError struct {
+	// Code is a stable, grep-able identifier: invalid_request,
+	// unknown_kind, invalid_param, queue_full, draining, not_found,
+	// job_failed, job_canceled, job_not_finished, internal.
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Field names the offending parameter for validation failures, as a
+	// path into the request body (e.g. "params.mix", "params.policies[1]").
+	Field string `json:"field,omitempty"`
+}
+
+// errorEnvelope is the wire form of a failed request.
+type errorEnvelope struct {
+	APIVersion string   `json:"api_version"`
+	Error      apiError `json:"error"`
+}
+
+// writeAPIError writes the uniform error envelope.
+func writeAPIError(w http.ResponseWriter, status int, code, field, msg string) {
+	writeJSON(w, status, errorEnvelope{
+		APIVersion: apiVersion,
+		Error:      apiError{Code: code, Message: msg, Field: field},
+	})
+}
+
+// apiParamError maps a parameter-validation failure to the envelope,
+// surfacing the offending field path when the experiments layer names
+// one.
+func apiParamError(w http.ResponseWriter, err error) {
+	var pe *experiments.ParamError
+	if errors.As(err, &pe) {
+		writeAPIError(w, http.StatusBadRequest, "invalid_param", pe.Field, err.Error())
+		return
+	}
+	writeAPIError(w, http.StatusBadRequest, "invalid_param", "", err.Error())
+}

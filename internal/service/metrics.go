@@ -56,6 +56,10 @@ type metrics struct {
 	spanQueueWait   obs.Histogram // admitted -> dispatched by a worker
 	spanExec        obs.Histogram // campaign execution wall time
 
+	// cells counts the cell execution path: cache hits, misses,
+	// completed executions, and the exec/merge latency histograms.
+	cells obs.CellStats
+
 	// sim aggregates the engine-level counters of every completed job's
 	// CampaignStats; guarded by simMu (folds are per-job, off the request
 	// hot path).
@@ -137,6 +141,17 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	gauge("affinityd_cache_bytes", "Result-cache resident bytes.", cs.Bytes)
 	gauge("affinityd_cache_budget_bytes", "Result-cache byte budget.", cs.Budget)
 
+	// Cell-level execution: how much of each campaign's grid was reused
+	// from the per-cell cache versus freshly simulated.
+	counter("affinityd_cell_hits_total", "Campaign cells satisfied from the cell cache.", m.cells.Hits.Load())
+	counter("affinityd_cell_misses_total", "Campaign cells not found in the cell cache.", m.cells.Misses.Load())
+	counter("affinityd_cell_executions_total", "Campaign cells executed to completion.", m.cells.Executions.Load())
+	ccs := m.server.cellCache.Stats()
+	counter("affinityd_cellcache_evictions_total", "Cell-cache LRU evictions.", ccs.Evictions)
+	gauge("affinityd_cellcache_entries", "Cell-cache resident entries.", ccs.Entries)
+	gauge("affinityd_cellcache_bytes", "Cell-cache resident bytes.", ccs.Bytes)
+	gauge("affinityd_cellcache_budget_bytes", "Cell-cache byte budget.", ccs.Budget)
+
 	// Engine-level simulation counters, folded from every completed job's
 	// per-run SimStats (the paper's Figure 1 decomposition).
 	m.simMu.Lock()
@@ -156,6 +171,8 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	nsHistogram(&b, "affinityd_request_admit_seconds", "Admission / singleflight-attach latency.", &m.spanAdmit)
 	nsHistogram(&b, "affinityd_request_queue_wait_seconds", "Time an admitted job waited before a worker dispatched it.", &m.spanQueueWait)
 	nsHistogram(&b, "affinityd_request_exec_seconds", "Campaign execution wall time per job.", &m.spanExec)
+	nsHistogram(&b, "affinityd_cell_exec_seconds", "Per-cell execution wall time (cache misses only).", &m.cells.ExecNs)
+	nsHistogram(&b, "affinityd_cell_merge_seconds", "Per-campaign cell-merge wall time.", &m.cells.MergeNs)
 
 	m.mu.Lock()
 	kinds := make([]string, 0, len(m.latency))

@@ -11,28 +11,42 @@
 //   - Deduplication (singleflight). Identical requests that arrive while
 //     the first is still running attach to the in-flight job instead of
 //     enqueuing duplicate simulations.
-//   - Memoization. Completed results live in a content-addressed LRU
-//     cache (internal/resultcache) keyed by the canonical hash of
-//     (kind, normalized params, engine version). Campaigns are
-//     deterministic, so a hit serves the stored body verbatim —
-//     bitwise identical to a fresh run, at zero simulation cost.
+//   - Memoization, at two granularities. Completed campaign bodies live
+//     in a content-addressed LRU cache (internal/resultcache) keyed by
+//     the canonical hash of (kind, normalized params, engine version).
+//     Below that, every campaign executes as its cell plan
+//     (internal/experiments.Cells): each cell — one coordinate of the
+//     campaign's grid — is cached under its own content address the
+//     moment it completes, so an overlapping or superset campaign
+//     re-executes only the cells it has never seen, and a campaign
+//     cancelled mid-flight resumes from its finished cells on
+//     resubmission. Campaigns are deterministic and merges byte-exact,
+//     so either cache serves bits identical to a fresh run.
 //   - Cooperative cancellation. Every job carries a context; cancelling
 //     it (client disconnect with no other waiters, DELETE /v1/jobs/{id},
 //     or server shutdown) stops the campaign from scheduling new
 //     simulation cells promptly.
 //
-// API:
+// API (every /v1 JSON body carries "api_version"; non-2xx responses use
+// the uniform {"api_version","error":{"code","message","field"}}
+// envelope):
 //
 //	POST   /v1/campaigns        submit {kind, params, async}; sync by default
-//	GET    /v1/campaigns        list campaign kinds
-//	GET    /v1/jobs             list jobs
-//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/campaigns        list campaign kinds with parameter schemas
+//	GET    /v1/jobs             list jobs (?status=, ?kind=, limit, page_token)
+//	GET    /v1/jobs/{id}        job status, incl. cell progress counters
 //	GET    /v1/jobs/{id}/result completed job's body
+//	GET    /v1/jobs/{id}/events NDJSON stream of per-cell progress events
 //	GET    /v1/jobs/{id}/stats  job's simulation-counter decomposition
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
 //	GET    /debug/pprof/...     runtime profiles (Config.EnablePprof only)
+//
+// The X-Cache, X-Cache-Key, and X-Request-Id headers still accompany
+// result bodies for compatibility, but header-only signaling is
+// deprecated: job views and stream events mirror the cache disposition
+// and request id in the JSON body, which is the supported surface.
 package service
 
 import (
@@ -98,8 +112,16 @@ type Config struct {
 	// a long-running daemon.
 	MaxJobs int
 	// Runner substitutes the campaign executor (tests); nil uses the
-	// experiments registry.
+	// experiments registry, executed cell by cell through the cell cache.
+	// A non-nil Runner is opaque to the server, so cell-level caching and
+	// progress events are disabled for it.
 	Runner Runner
+	// CellCache substitutes the per-cell result cache, letting several
+	// servers — or a restarted one — share completed cells; nil builds a
+	// private cache with the CacheBytes budget. Separate from the
+	// campaign-body cache so cell traffic never evicts (or pollutes the
+	// hit counters of) whole-campaign entries.
+	CellCache *resultcache.Cache
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
 	// off: the profiling surface stays closed unless explicitly opened).
 	EnablePprof bool
@@ -151,6 +173,12 @@ type job struct {
 	kind   string
 	key    string
 	params experiments.CampaignParams
+	// requestID is the X-Request-Id of the submission that created the
+	// job, mirrored into views and stream events.
+	requestID string
+	// cells tracks cell-level progress and the job's event log; it has
+	// its own lock and is safe to read at any lifecycle stage.
+	cells *cellTracker
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -186,6 +214,14 @@ func (j *job) setTerminal(st jobStatus, body []byte, errMsg string, now time.Tim
 		return false
 	}
 	j.status, j.body, j.errMsg, j.finished = st, body, errMsg, now
+	// Record the terminal stream event before done closes: an events
+	// reader woken by the close is then guaranteed to observe it on its
+	// final snapshot.
+	ev := jobEvent{Type: string(st), JobID: j.id, Cache: "miss", RequestID: j.requestID, Error: errMsg}
+	if st == statusDone {
+		ev.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	j.cells.recordTerminal(ev)
 	close(j.done)
 	return true
 }
@@ -195,13 +231,21 @@ func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		ID:       j.id,
-		Kind:     j.kind,
-		Status:   string(j.status),
-		CacheKey: j.key,
-		Error:    j.errMsg,
-		Created:  j.created.UTC().Format(time.RFC3339Nano),
+		APIVersion: apiVersion,
+		ID:         j.id,
+		Kind:       j.kind,
+		Status:     string(j.status),
+		CacheKey:   j.key,
+		// A job only exists for a fresh run — cache hits are served
+		// inline without one — so its disposition is always "miss"; the
+		// field mirrors the deprecated X-Cache header into the body.
+		Cache:     "miss",
+		RequestID: j.requestID,
+		Error:     j.errMsg,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		EventsURL: "/v1/jobs/" + j.id + "/events",
 	}
+	v.CellsTotal, v.CellsDone, v.CellsFromCache = j.cells.counts()
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)
 	}
@@ -216,15 +260,27 @@ func (j *job) view() jobView {
 
 // jobView is the wire form of a job's status.
 type jobView struct {
-	ID        string `json:"id"`
-	Kind      string `json:"kind"`
-	Status    string `json:"status"`
-	CacheKey  string `json:"cache_key"`
+	APIVersion string `json:"api_version"`
+	ID         string `json:"id"`
+	Kind       string `json:"kind"`
+	Status     string `json:"status"`
+	CacheKey   string `json:"cache_key"`
+	// Cache mirrors the X-Cache disposition ("miss": jobs are fresh runs).
+	Cache string `json:"cache,omitempty"`
+	// RequestID mirrors the X-Request-Id of the submitting request.
+	RequestID string `json:"request_id,omitempty"`
 	Error     string `json:"error,omitempty"`
 	Created   string `json:"created"`
 	Started   string `json:"started,omitempty"`
 	Finished  string `json:"finished,omitempty"`
-	ResultURL string `json:"result_url,omitempty"`
+	// Cell progress: total cells in the campaign's plan, completed so
+	// far, and how many of those were satisfied from the cell cache.
+	// All zero for jobs run through a custom Runner.
+	CellsTotal     int    `json:"cells_total"`
+	CellsDone      int    `json:"cells_done"`
+	CellsFromCache int    `json:"cells_from_cache"`
+	ResultURL      string `json:"result_url,omitempty"`
+	EventsURL      string `json:"events_url,omitempty"`
 }
 
 // Server is the affinityd serving core, independent of any listener so
@@ -234,6 +290,12 @@ type Server struct {
 	cache   *resultcache.Cache
 	metrics *metrics
 	mux     *http.ServeMux
+	// useCells selects the cell execution path; false when a custom
+	// Runner makes the campaign opaque to the server.
+	useCells bool
+	// cellCache holds per-cell partial results, keyed by cell content
+	// address.
+	cellCache *resultcache.Cache
 
 	mu       sync.Mutex
 	draining bool
@@ -251,11 +313,21 @@ type Server struct {
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
+	// Cell execution requires the real registry: a custom Runner is
+	// opaque, so its jobs run monolithically. Decided before withDefaults
+	// installs the registry runner.
+	useCells := cfg.Runner == nil
 	cfg = cfg.withDefaults()
+	cellCache := cfg.CellCache
+	if cellCache == nil {
+		cellCache = resultcache.New(cfg.CacheBytes)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		cache:      resultcache.New(cfg.CacheBytes),
+		useCells:   useCells,
+		cellCache:  cellCache,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
@@ -269,6 +341,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -295,6 +368,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Cache exposes the result cache (the smoke gate reads its counters).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
 
+// CellCache exposes the per-cell result cache.
+func (s *Server) CellCache() *resultcache.Cache { return s.cellCache }
+
 // campaignRequest is the POST /v1/campaigns body.
 type campaignRequest struct {
 	Kind   string                     `json:"kind"`
@@ -305,7 +381,8 @@ type campaignRequest struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("X-Request-Id", fmt.Sprintf("r%08d", s.reqSeq.Add(1)))
+	rid := fmt.Sprintf("r%08d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", rid)
 	// A request landing between SIGTERM and the listener closing must get
 	// a prompt 503 telling the client to drop the connection — not parse
 	// work, not a queue slot, and never a wait on a job that shutdown is
@@ -315,19 +392,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		w.Header().Set("Connection", "close")
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeAPIError(w, http.StatusServiceUnavailable, "draining", "", "server is shutting down")
 		return
 	}
 	var req campaignRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeAPIError(w, http.StatusBadRequest, "invalid_request", "", fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	camp, ok := experiments.CampaignByKind(req.Kind)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown campaign kind %q", req.Kind))
+		writeAPIError(w, http.StatusBadRequest, "unknown_kind", "kind", fmt.Sprintf("unknown campaign kind %q", req.Kind))
 		return
 	}
 	if req.Params.Seed == 0 && s.cfg.DefaultSeed != 0 {
@@ -335,7 +412,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	params, err := camp.Normalize(req.Params)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		apiParamError(w, err)
 		return
 	}
 	if params.Workers == 0 {
@@ -343,7 +420,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	key, err := cacheKey(req.Kind, params)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeAPIError(w, http.StatusInternalServerError, "internal", "", err.Error())
 		return
 	}
 	s.metrics.submitted.Add(1)
@@ -358,13 +435,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	admitStart := time.Now()
-	j, admitted, err := s.admit(req.Kind, key, params)
+	j, admitted, err := s.admit(req.Kind, key, rid, params)
 	span(&s.metrics.spanAdmit, time.Since(admitStart))
 	if err != nil {
 		switch err {
 		case errDraining:
 			w.Header().Set("Connection", "close")
-			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			writeAPIError(w, http.StatusServiceUnavailable, "draining", "", "server is shutting down")
 		case errQueueFull:
 			s.metrics.rejected.Add(1)
 			// Ceil to whole seconds, floor 1: a sub-second hint used to
@@ -375,9 +452,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				ra = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(ra))
-			writeError(w, http.StatusTooManyRequests, "campaign queue is full; retry later")
+			writeAPIError(w, http.StatusTooManyRequests, "queue_full", "", "campaign queue is full; retry later")
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeAPIError(w, http.StatusInternalServerError, "internal", "", err.Error())
 		}
 		return
 	}
@@ -420,9 +497,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case statusDone:
 		writeBody(w, body, "miss", key)
 	case statusCanceled:
-		writeError(w, http.StatusConflict, "job canceled: "+errMsg)
+		writeAPIError(w, http.StatusConflict, "job_canceled", "", "job canceled: "+errMsg)
 	default:
-		writeError(w, http.StatusInternalServerError, errMsg)
+		writeAPIError(w, http.StatusInternalServerError, "job_failed", "", errMsg)
 	}
 }
 
@@ -448,7 +525,7 @@ var (
 // same lock detach takes — so an attach can never interleave with the
 // previous last waiter's count-reaches-zero cancellation. admitted
 // reports whether a new job was created.
-func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*job, bool, error) {
+func (s *Server) admit(kind, key, requestID string, params experiments.CampaignParams) (*job, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -474,14 +551,16 @@ func (s *Server) admit(kind, key string, params experiments.CampaignParams) (*jo
 	}
 	s.jobSeq++
 	j := &job{
-		id:      fmt.Sprintf("j%08d", s.jobSeq),
-		kind:    kind,
-		key:     key,
-		params:  params,
-		stats:   obs.NewCampaignStats(),
-		status:  statusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:        fmt.Sprintf("j%08d", s.jobSeq),
+		kind:      kind,
+		key:       key,
+		params:    params,
+		requestID: requestID,
+		cells:     newCellTracker(),
+		stats:     obs.NewCampaignStats(),
+		status:    statusQueued,
+		created:   time.Now(),
+		done:      make(chan struct{}),
 	}
 	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
 	select {
@@ -598,11 +677,27 @@ func (s *Server) worker() {
 		j.mu.Unlock()
 		span(&s.metrics.spanQueueWait, j.started.Sub(j.created))
 		s.metrics.inflight.Add(1)
-		// The collector rides the context, not the params: the campaign
-		// registry attaches it to its run options, so stats flow out of
+		// The registry path runs the campaign cell by cell through the
+		// cell cache; a custom Runner is opaque and runs monolithically.
+		// Either way the collector rides the context, not the params: the
+		// campaign attaches it to its run options, so stats flow out of
 		// band and the result bytes stay identical to an uninstrumented
 		// run.
-		res, err := s.cfg.Runner(obs.WithCollector(j.ctx, j.stats), j.kind, j.params)
+		exec := func() ([]byte, error) {
+			if s.useCells {
+				return s.runCells(j)
+			}
+			res, err := s.cfg.Runner(obs.WithCollector(j.ctx, j.stats), j.kind, j.params)
+			if err != nil {
+				return nil, err
+			}
+			body, err := report.CanonicalJSON(res)
+			if err != nil {
+				return nil, fmt.Errorf("encode result: %s", err)
+			}
+			return body, nil
+		}
+		body, err := exec()
 		elapsed := time.Since(j.started)
 		span(&s.metrics.spanExec, elapsed)
 		s.metrics.inflight.Add(-1)
@@ -612,11 +707,6 @@ func (s *Server) worker() {
 		case err != nil:
 			s.finish(j, statusFailed, nil, err.Error())
 		default:
-			body, encErr := report.CanonicalJSON(res)
-			if encErr != nil {
-				s.finish(j, statusFailed, nil, "encode result: "+encErr.Error())
-				break
-			}
 			s.cache.Put(j.key, body)
 			s.metrics.observe(j.kind, elapsed)
 			s.metrics.foldSim(j.stats)
@@ -632,17 +722,64 @@ func (s *Server) worker() {
 
 func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
 	type kindView struct {
-		Kind        string `json:"kind"`
-		Description string `json:"description"`
+		Kind        string                  `json:"kind"`
+		Description string                  `json:"description"`
+		Params      []experiments.ParamSpec `json:"params"`
 	}
 	var out []kindView
 	for _, c := range experiments.Campaigns() {
-		out = append(out, kindView{Kind: c.Kind, Description: c.Description})
+		out = append(out, kindView{Kind: c.Kind, Description: c.Description, Params: c.ParamSchema()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out, "engine_version": version.Engine})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"api_version":    apiVersion,
+		"campaigns":      out,
+		"engine_version": version.Engine,
+	})
 }
 
+// validJobStatus reports whether st names a job lifecycle state.
+func validJobStatus(st string) bool {
+	switch jobStatus(st) {
+	case statusQueued, statusRunning, statusDone, statusFailed, statusCanceled:
+		return true
+	}
+	return false
+}
+
+// handleListJobs lists retained jobs with optional filters and keyset
+// pagination. Ordering is stable and documented: ascending job id, and
+// ids are zero-padded sequence numbers, so the order is admission order.
+// page_token is the last id of the previous page; a page is full when
+// limit (default 100, max 1000) views accumulate, and next_page_token is
+// present iff more matching jobs remain.
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := q.Get("status")
+	if status != "" && !validJobStatus(status) {
+		writeAPIError(w, http.StatusBadRequest, "invalid_param", "status",
+			fmt.Sprintf("unknown status %q (want queued|running|done|failed|canceled)", status))
+		return
+	}
+	kind := q.Get("kind")
+	if kind != "" {
+		if _, ok := experiments.CampaignByKind(kind); !ok {
+			writeAPIError(w, http.StatusBadRequest, "invalid_param", "kind",
+				fmt.Sprintf("unknown campaign kind %q", kind))
+			return
+		}
+	}
+	limit := 100
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 || n > 1000 {
+			writeAPIError(w, http.StatusBadRequest, "invalid_param", "limit",
+				fmt.Sprintf("limit %q outside [1,1000]", ls))
+			return
+		}
+		limit = n
+	}
+	token := q.Get("page_token")
+
 	s.mu.Lock()
 	views := make([]jobView, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -650,7 +787,30 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+
+	page := make([]jobView, 0, limit)
+	next := ""
+	for _, v := range views {
+		if v.ID <= token {
+			continue
+		}
+		if status != "" && v.Status != status {
+			continue
+		}
+		if kind != "" && v.Kind != kind {
+			continue
+		}
+		if len(page) == limit {
+			next = page[limit-1].ID
+			break
+		}
+		page = append(page, v)
+	}
+	resp := map[string]any{"api_version": apiVersion, "jobs": page}
+	if next != "" {
+		resp["next_page_token"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
@@ -658,7 +818,7 @@ func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeAPIError(w, http.StatusNotFound, "not_found", "", "no such job")
 	}
 	return j
 }
@@ -681,11 +841,11 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case statusDone:
 		writeBody(w, body, "job", j.key)
 	case statusFailed:
-		writeError(w, http.StatusInternalServerError, errMsg)
+		writeAPIError(w, http.StatusInternalServerError, "job_failed", "", errMsg)
 	case statusCanceled:
-		writeError(w, http.StatusConflict, "job canceled: "+errMsg)
+		writeAPIError(w, http.StatusConflict, "job_canceled", "", "job canceled: "+errMsg)
 	default:
-		writeError(w, http.StatusConflict, "job not finished: "+string(st))
+		writeAPIError(w, http.StatusConflict, "job_not_finished", "", "job not finished: "+string(st))
 	}
 }
 
@@ -703,10 +863,11 @@ func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
 	st := j.status
 	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id":     j.id,
-		"kind":   j.kind,
-		"status": string(st),
-		"stats":  j.stats.Snapshot(),
+		"api_version": apiVersion,
+		"id":          j.id,
+		"kind":        j.kind,
+		"status":      string(st),
+		"stats":       j.stats.Snapshot(),
 	})
 }
 
@@ -800,10 +961,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }
 
 // writeBody serves a campaign result body. source labels how it was

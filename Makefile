@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json serve-smoke obs-smoke cell-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke ci
 
 all: build
 
@@ -45,17 +45,30 @@ bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkComparePolicies$$' -cpu 1,4,8 -benchtime 2x .
 
 # Machine-readable perf baseline (BENCH_cache.json): the cache/replay
-# microbenchmarks at full benchtime plus the campaign-level exhibits at a
-# few iterations, parsed into benchmark -> {ns/op, B/op, allocs/op}.
-# benchjson is built (not `go run`) so the binary carries VCS build info
-# and the baseline's _meta records the git revision that produced it.
+# microbenchmarks at full benchtime plus the campaign-level exhibits and
+# allocation-profile benchmarks at a few iterations, parsed into
+# benchmark -> {ns/op, B/op, allocs/op}. benchjson is built (not `go run`)
+# so the binary carries VCS build info and the baseline's _meta records the
+# git revision that produced it; benchjson refuses to write a baseline from
+# a dirty tree, so the recorded SHA always identifies the measured code.
 bench-json:
 	$(GO) build -o benchjson.bin ./cmd/benchjson
 	{ $(GO) test -run '^$$' -bench . -benchmem \
 		./internal/cache/ ./internal/cachemodel/ ./internal/memtrace/ ; \
 	  $(GO) test -run '^$$' -benchmem -benchtime 2x \
-		-bench 'BenchmarkComparePolicies$$|BenchmarkTable1$$|BenchmarkAblationExactEngine$$' . ; } \
+		-bench 'BenchmarkComparePolicies$$|BenchmarkTable1$$|BenchmarkAblationExactEngine$$|BenchmarkSchedRunAllocs$$|BenchmarkSchedRunnerSteadyState$$|BenchmarkCompareCellAllocs$$' . ; } \
 	| ./benchjson.bin -o BENCH_cache.json
+	rm -f benchjson.bin
+
+# The allocation regression gate: re-runs the campaign allocation-profile
+# benchmarks and fails if any exceeds its committed BENCH_cache.json
+# ceiling on B/op or allocs/op (ns/op is never gated — it varies with the
+# host; allocation counts are properties of the code).
+bench-check:
+	$(GO) build -o benchjson.bin ./cmd/benchjson
+	$(GO) test -run '^$$' -benchmem -benchtime 2x \
+		-bench 'BenchmarkComparePolicies$$|BenchmarkSchedRunAllocs$$|BenchmarkSchedRunnerSteadyState$$|BenchmarkCompareCellAllocs$$' . \
+	| ./benchjson.bin -check BENCH_cache.json
 	rm -f benchjson.bin
 
 # The affinityd gate: boots the daemon's serving core on a random port,
@@ -81,4 +94,4 @@ obs-smoke:
 cell-smoke:
 	$(GO) test -race -count=1 -run 'TestCellSmoke' ./cmd/affinityd/
 
-ci: vet build race bench-smoke bench-cache serve-smoke obs-smoke cell-smoke
+ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke

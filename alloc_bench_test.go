@@ -32,6 +32,38 @@ func BenchmarkSchedRunAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkSchedRunnerSteadyState measures the steady-state allocation
+// profile of a reused Runner: the same cell as BenchmarkSchedRunAllocs but
+// with the engine substrate warmed by a first run. This is the per-run cost
+// a campaign worker actually pays, and the number the bench-check gate holds
+// near zero.
+func BenchmarkSchedRunnerSteadyState(b *testing.B) {
+	opts := experiments.FastOptions()
+	mix5, _ := workload.MixByNumber(5)
+	apps := mix5.Apps(opts.Seed)
+	cfg := sched.Config{
+		Machine: opts.Machine,
+		Apps:    apps,
+		Seed:    opts.Seed,
+	}
+	r := sched.NewRunner()
+	run := func() {
+		// Policies carry per-run state and are rebuilt each run, exactly as
+		// the campaign workers do.
+		pol, _ := core.ByName("Dyn-Aff")
+		cfg.Policy = pol
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the substrate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 // BenchmarkCompareCellAllocs measures one full ComparePolicies cell
 // (one mix, one policy, FastOptions replications), run sequentially.
 func BenchmarkCompareCellAllocs(b *testing.B) {

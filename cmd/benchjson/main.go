@@ -4,10 +4,19 @@
 // campaign benchmarks through it to produce BENCH_cache.json, the
 // committed baseline future PRs diff against.
 //
+// With -check, benchjson instead compares the benchmarks on stdin against
+// an existing baseline and fails when any benchmark's B/op or allocs/op
+// exceeds its baseline ceiling — the allocation regression gate wired into
+// `make ci` via bench-check. Wall-clock (ns/op) is reported but never
+// gated: it varies with the host, while allocation counts are properties
+// of the code.
+//
 // The GOMAXPROCS suffix (-16) is stripped from names so baselines compare
 // across machines; the parallelism used, the git revision, and the engine
 // version are recorded once under "_meta" so a committed baseline says
-// exactly which code produced it.
+// exactly which code produced it. Writing a baseline from a dirty working
+// tree is refused (override with -allow-dirty): a baseline whose recorded
+// SHA does not identify the measured code is worse than none.
 package main
 
 import (
@@ -15,9 +24,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 
 	"repro/internal/version"
 )
@@ -31,23 +42,44 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// Ceiling slack for -check: a fresh measurement may exceed the baseline by
+// the relative slack plus a small absolute allowance (which keeps
+// near-zero baselines from flaking on a single extra allocation) without
+// failing the gate. A real regression — the kind the gate exists for —
+// blows through both.
+const (
+	relSlack    = 0.25
+	absSlackB   = 2048
+	absSlackAll = 16
+)
+
 // benchLine matches `BenchmarkName-N  iters  12.3 ns/op  45 B/op  6 allocs/op`.
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	check := flag.String("check", "", "baseline JSON to compare stdin against instead of writing")
+	allowDirty := flag.Bool("allow-dirty", false, "permit writing a baseline from a dirty working tree")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	var err error
+	if *check != "" {
+		err = runCheck(*check)
+	} else {
+		err = runWrite(*out, *allowDirty)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
-	results := make(map[string]any)
+// parseBench reads `go test -bench` output, returning parsed results and
+// the GOMAXPROCS the benchmarks ran at.
+func parseBench(r io.Reader) (map[string]Result, string, error) {
+	results := make(map[string]Result)
 	procs := "1" // go test omits the -N name suffix when GOMAXPROCS is 1
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -69,14 +101,30 @@ func run(out string) error {
 		results[m[1]] = r
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, "", err
 	}
 	if len(results) == 0 {
-		return fmt.Errorf("no benchmark lines found on stdin")
+		return nil, "", fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return results, procs, nil
+}
+
+func runWrite(out string, allowDirty bool) error {
+	sha := version.GitSHA()
+	if strings.HasSuffix(sha, "-dirty") && !allowDirty {
+		return fmt.Errorf("refusing to write a baseline from a dirty working tree (%s); commit first or pass -allow-dirty", sha)
+	}
+	parsed, procs, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	results := make(map[string]any, len(parsed)+1)
+	for name, r := range parsed {
+		results[name] = r
 	}
 	results["_meta"] = map[string]string{
 		"gomaxprocs":     procs,
-		"git_sha":        version.GitSHA(),
+		"git_sha":        sha,
 		"engine_version": version.Engine,
 	}
 	buf, err := json.MarshalIndent(results, "", "  ")
@@ -89,4 +137,51 @@ func run(out string) error {
 		return err
 	}
 	return os.WriteFile(out, buf, 0o644)
+}
+
+// runCheck compares the benchmarks on stdin against the baseline file and
+// fails when any shared benchmark exceeds its B/op or allocs/op ceiling.
+func runCheck(baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	fresh, _, err := parseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	compared := 0
+	var failures []string
+	for name, got := range fresh {
+		rawBase, ok := baseline[name]
+		if !ok || name == "_meta" {
+			continue
+		}
+		var base Result
+		if err := json.Unmarshal(rawBase, &base); err != nil {
+			return fmt.Errorf("baseline entry %s: %w", name, err)
+		}
+		compared++
+		ceilB := base.BPerOp*(1+relSlack) + absSlackB
+		ceilA := base.AllocsPerOp*(1+relSlack) + absSlackAll
+		status := "ok"
+		if got.BPerOp > ceilB || got.AllocsPerOp > ceilA {
+			status = "FAIL"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-4s %-40s %12.0f B/op (ceiling %12.0f)  %9.0f allocs/op (ceiling %9.0f)\n",
+			status, name, got.BPerOp, ceilB, got.AllocsPerOp, ceilA)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks on stdin matched the baseline")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation ceilings exceeded: %s", strings.Join(failures, ", "))
+	}
+	fmt.Printf("bench-check: %d benchmark(s) within allocation ceilings\n", compared)
+	return nil
 }

@@ -69,14 +69,16 @@ func (t Trigger) String() string {
 }
 
 // Decision reassigns one processor. Job == -1 releases the processor to the
-// unassigned pool. Task, when non-nil, directs the engine to dispatch that
-// specific task on the processor (the task-targeted grants of affinity
+// unassigned pool. When HasTask is set, Task directs the engine to dispatch
+// that specific task on the processor (the task-targeted grants of affinity
 // rules A.1 and A.2); otherwise the job's runtime picks an arbitrary
-// suspended task.
+// suspended task. Task is an inline value (not a pointer) so building a
+// targeted decision never heap-allocates.
 type Decision struct {
-	Proc int
-	Job  int
-	Task *TaskRef
+	Proc    int
+	Job     int
+	Task    TaskRef
+	HasTask bool
 }
 
 // State is the allocator-visible snapshot the engine publishes before each
@@ -113,6 +115,13 @@ type State struct {
 	// applies: a desired processor is granted only when it is not doing
 	// useful work, never by preempting its current task.
 	Desired [][]DesiredProc
+
+	// Reused backing for the query helpers (ActiveJobs, Requesters,
+	// UnassignedProcs, YieldingProcs, ProcsOf). Each helper owns one
+	// scratch slice, so the slice a helper returns stays valid until that
+	// same helper is called again — the access pattern every policy
+	// follows — and the per-Rebalance query storm allocates nothing.
+	activeScratch, reqScratch, unassignedScratch, yieldScratch, procsOfScratch []int
 }
 
 // DesiredProc is a desired processor and the task that wants it.
@@ -123,45 +132,85 @@ type DesiredProc struct {
 
 // NewState allocates a State sized for the given processor and job counts.
 func NewState(procs, jobs int) *State {
-	s := &State{
-		Procs:             procs,
-		Active:            make([]bool, jobs),
-		Demand:            make([]int, jobs),
-		Alloc:             make([]int, jobs),
-		Credit:            make([]float64, jobs),
-		MaxPar:            make([]int, jobs),
-		ProcJob:           make([]int, procs),
-		ProcWorking:       make([]bool, procs),
-		ProcYield:         make([]bool, procs),
-		ProcLastTask:      make([]TaskRef, procs),
-		LastTaskResumable: make([]bool, procs),
-		Desired:           make([][]DesiredProc, jobs),
+	s := &State{}
+	s.Reset(procs, jobs)
+	return s
+}
+
+// Reset re-sizes the snapshot for a new run's processor and job counts and
+// restores every field to its initial value, retaining allocated capacity
+// (including the Desired sub-slices and query scratch) so one State can
+// serve many simulation runs. A reset State is indistinguishable from a
+// freshly constructed one.
+func (s *State) Reset(procs, jobs int) {
+	s.Procs = procs
+	s.Active = resize(s.Active, jobs)
+	s.Demand = resize(s.Demand, jobs)
+	s.Alloc = resize(s.Alloc, jobs)
+	s.Credit = resize(s.Credit, jobs)
+	s.MaxPar = resize(s.MaxPar, jobs)
+	s.ProcJob = resize(s.ProcJob, procs)
+	s.ProcWorking = resize(s.ProcWorking, procs)
+	s.ProcYield = resize(s.ProcYield, procs)
+	s.ProcLastTask = resize(s.ProcLastTask, procs)
+	s.LastTaskResumable = resize(s.LastTaskResumable, procs)
+	s.Desired = resize(s.Desired, jobs)
+	for j := range jobs {
+		s.Active[j] = false
+		s.Demand[j] = 0
+		s.Alloc[j] = 0
+		s.Credit[j] = 0
+		s.MaxPar[j] = 0
+		s.Desired[j] = s.Desired[j][:0]
 	}
 	for p := 0; p < procs; p++ {
 		s.ProcJob[p] = -1
+		s.ProcWorking[p] = false
+		s.ProcYield[p] = false
 		s.ProcLastTask[p] = NoTask
+		s.LastTaskResumable[p] = false
 	}
-	return s
+}
+
+// resize returns s with length n, retaining capacity where possible.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]T, n-cap(s))...)
 }
 
 // NumJobs returns the number of job slots (active or not).
 func (s *State) NumJobs() int { return len(s.Active) }
 
-// ActiveJobs returns the IDs of jobs currently in the system.
+// ActiveJobs returns the IDs of jobs currently in the system. The returned
+// slice is scratch owned by the State, valid until the next ActiveJobs call.
 func (s *State) ActiveJobs() []int {
-	var out []int
+	out := s.activeScratch[:0]
 	for j, a := range s.Active {
 		if a {
 			out = append(out, j)
 		}
 	}
+	s.activeScratch = out
 	return out
+}
+
+// NumActive returns the number of jobs currently in the system.
+func (s *State) NumActive() int {
+	n := 0
+	for _, a := range s.Active {
+		if a {
+			n++
+		}
+	}
+	return n
 }
 
 // FairShare returns the equal-division share of processors per active job
 // (zero when no job is active).
 func (s *State) FairShare() float64 {
-	n := len(s.ActiveJobs())
+	n := s.NumActive()
 	if n == 0 {
 		return 0
 	}
@@ -170,14 +219,16 @@ func (s *State) FairShare() float64 {
 
 // Requesters returns active jobs whose demand exceeds their allocation,
 // ordered by descending credit (ties broken by lower job ID, keeping the
-// simulation deterministic).
+// simulation deterministic). The returned slice is scratch owned by the
+// State, valid until the next Requesters call.
 func (s *State) Requesters() []int {
-	var out []int
+	out := s.reqScratch[:0]
 	for j := range s.Active {
 		if s.Active[j] && s.Demand[j] > s.Alloc[j] {
 			out = append(out, j)
 		}
 	}
+	s.reqScratch = out
 	// Insertion sort by (credit desc, id asc): requester lists are tiny.
 	for i := 1; i < len(out); i++ {
 		for k := i; k > 0; k-- {
@@ -193,26 +244,30 @@ func (s *State) Requesters() []int {
 }
 
 // UnassignedProcs returns processors not assigned to any job, in index
-// order (allocation rule D.1's supply).
+// order (allocation rule D.1's supply). The returned slice is scratch owned
+// by the State, valid until the next UnassignedProcs call.
 func (s *State) UnassignedProcs() []int {
-	var out []int
+	out := s.unassignedScratch[:0]
 	for p, j := range s.ProcJob {
 		if j == -1 {
 			out = append(out, p)
 		}
 	}
+	s.unassignedScratch = out
 	return out
 }
 
 // YieldingProcs returns processors marked willing-to-yield, in index order
-// (allocation rule D.2's supply).
+// (allocation rule D.2's supply). The returned slice is scratch owned by
+// the State, valid until the next YieldingProcs call.
 func (s *State) YieldingProcs() []int {
-	var out []int
+	out := s.yieldScratch[:0]
 	for p := range s.ProcJob {
 		if s.ProcJob[p] != -1 && s.ProcYield[p] {
 			out = append(out, p)
 		}
 	}
+	s.yieldScratch = out
 	return out
 }
 
@@ -233,14 +288,16 @@ func (s *State) LargestAllocJob(except int) int {
 }
 
 // ProcsOf returns the processors currently assigned to job j, in index
-// order.
+// order. The returned slice is scratch owned by the State, valid until the
+// next ProcsOf call.
 func (s *State) ProcsOf(j int) []int {
-	var out []int
+	out := s.procsOfScratch[:0]
 	for p, owner := range s.ProcJob {
 		if owner == j {
 			out = append(out, p)
 		}
 	}
+	s.procsOfScratch = out
 	return out
 }
 

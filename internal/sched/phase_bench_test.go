@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// BenchmarkRunPhases attributes a reused Runner's per-run cost to the three
+// phases of Runner.Run — substrate reset (engine build), the event loop,
+// and the metrics fold — by running the other phases with the benchmark
+// timer stopped. testing.B only counts allocations while the timer runs, so
+// each sub-benchmark's allocs/op is that phase's allocation bill alone.
+func BenchmarkRunPhases(b *testing.B) {
+	cfg := Config{
+		Machine: mc16(),
+		Apps:    []workload.App{smallMVA(), smallMatrix(), smallGravity()},
+		Seed:    3,
+	}
+
+	// prepare re-creates exactly the pre-loop portion of Runner.Run.
+	prepare := func(r *Runner) Config {
+		pol, ok := core.ByName("Dyn-Aff")
+		if !ok {
+			b.Fatal("unknown policy Dyn-Aff")
+		}
+		c := cfg
+		c.Policy = pol
+		if err := c.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		c = c.withDefaults()
+		model, err := r.cacheModel(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.q.Reset()
+		if r.eng == nil {
+			r.eng = &engine{q: &r.q}
+		}
+		if err := r.eng.reset(c, model); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	warm := func() *Runner {
+		r := NewRunner()
+		prepare(r)
+		if _, err := r.eng.run(); err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+
+	b.Run("reset", func(b *testing.B) {
+		r := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prepare(r)
+			b.StopTimer()
+			if _, err := r.eng.run(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("loop", func(b *testing.B) {
+		r := warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			prepare(r)
+			b.StartTimer()
+			r.eng.start()
+			events, err := r.eng.q.Run(r.eng.cfg.MaxEvents)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			r.eng.result(events)
+			b.StartTimer()
+		}
+	})
+	b.Run("result", func(b *testing.B) {
+		// result is idempotent once the run has finished (noteProfile adds a
+		// zero-length span), so one simulation serves every iteration.
+		r := warm()
+		prepare(r)
+		res, err := r.eng.run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := res.Events
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.eng.result(events)
+		}
+	})
+}

@@ -235,6 +235,16 @@ type jobRT struct {
 	done    bool
 	doneAt  simtime.Time
 
+	// taskStore owns every taskRT ever created for this slot, so reused
+	// engines recycle task structs instead of allocating: tasks is always a
+	// prefix view of the same objects, re-initialised as the run spawns
+	// kernel tasks.
+	taskStore []*taskRT
+
+	// arriveFn is the job's arrival callback, built once when the slot is
+	// created (a jobRT at pool index i always simulates job id i).
+	arriveFn func()
+
 	// Metrics accumulation.
 	work       simtime.Duration
 	missTime   simtime.Duration
@@ -311,25 +321,40 @@ type engine struct {
 	profile     []simtime.Duration
 	quantumEv   *eventq.Event
 
+	// procPool and jobPool own every runtime struct the engine has ever
+	// built; procs and jobs are prefix views sized to the current run. Pool
+	// entries keep their once-built callbacks (segDoneFn/yieldFn/arriveFn)
+	// across runs, so the steady-state run path allocates no closures.
+	procPool []*procRT
+	jobPool  []*jobRT
+
+	// tickFn is the quantum-tick callback, built on first use and reused
+	// for every tick of every run.
+	tickFn func()
+
 	// stats accumulates the run's dispatch-classification counters; plain
 	// integer increments on the dispatch path (not atomics — the engine is
 	// single-goroutine), folded into Result.Stats at the end of the run.
 	stats obs.SimStats
 }
 
-// Runner executes simulation runs back to back, reusing the expensive
-// engine substrate — the pending-event heap (with its recycled Event
-// objects) and the per-processor cache model — across runs. A Runner is
-// exactly as deterministic as Run: a reused Runner and a fresh one produce
-// bitwise identical Results for the same Config.
+// Runner executes simulation runs back to back, reusing the full engine
+// substrate across runs: the pending-event heap (with its recycled Event
+// objects), the per-processor cache model, the bus, the allocator state,
+// and every per-processor/per-job runtime struct with its once-built event
+// callbacks. A Runner is exactly as deterministic as Run: a reused Runner
+// and a fresh one produce bitwise identical Results for the same Config,
+// including across heterogeneous back-to-back configs (see DESIGN.md,
+// "Allocation discipline").
 //
 // A Runner is NOT safe for concurrent use; the experiment campaign layer
 // pools one Runner per worker goroutine (see internal/experiments).
 type Runner struct {
-	q eventq.Queue
+	q   eventq.Queue
+	eng *engine
 
-	// Cached cache model, rebuilt only when the next run's geometry or
-	// seed differs from the one it was built for.
+	// Cached cache model, rebuilt only when the next run's construction
+	// parameters differ from the ones it was built for.
 	model      cachemodel.Model
 	modelKind  cachemodel.Kind
 	modelProcs int
@@ -341,11 +366,14 @@ type Runner struct {
 func NewRunner() *Runner { return &Runner{} }
 
 // model returns a cache model for the run, reusing (after a Reset) the
-// previous run's instance when its construction parameters match.
+// previous run's instance when its construction parameters match. The
+// footprint model is seed-independent, so for it a seed change alone never
+// forces a rebuild.
 func (r *Runner) cacheModel(cfg Config) (cachemodel.Model, error) {
+	seedOK := r.modelSeed == cfg.Seed || cfg.CacheModel == cachemodel.KindFootprint
 	if r.model != nil && r.modelKind == cfg.CacheModel &&
 		r.modelProcs == cfg.Machine.Processors &&
-		r.modelCache == cfg.Machine.Cache && r.modelSeed == cfg.Seed {
+		r.modelCache == cfg.Machine.Cache && seedOK {
 		r.model.Reset()
 		return r.model, nil
 	}
@@ -362,8 +390,8 @@ func (r *Runner) cacheModel(cfg Config) (cachemodel.Model, error) {
 }
 
 // Run executes the configured simulation to completion. It is equivalent
-// to the package-level Run but amortizes event-queue and cache-model
-// allocations across calls.
+// to the package-level Run but amortizes the whole engine substrate across
+// calls; steady-state reuse allocates almost nothing per run.
 func (r *Runner) Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -374,18 +402,13 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	r.q.Reset()
-	e := &engine{
-		cfg:     cfg,
-		mc:      cfg.Machine,
-		pol:     cfg.Policy,
-		q:       &r.q,
-		bus:     bus.MustNew(cfg.Machine.LineFill, cfg.Machine.BusWindow),
-		model:   model,
-		st:      alloc.NewState(cfg.Machine.Processors, len(cfg.Apps)),
-		credits: make([]float64, len(cfg.Apps)),
-		profile: make([]simtime.Duration, cfg.Machine.Processors+1),
+	if r.eng == nil {
+		r.eng = &engine{q: &r.q}
 	}
-	return e.run()
+	if err := r.eng.reset(cfg, model); err != nil {
+		return Result{}, err
+	}
+	return r.eng.run()
 }
 
 // Run executes the configured simulation to completion on a fresh Runner.
@@ -393,62 +416,144 @@ func Run(cfg Config) (Result, error) {
 	return NewRunner().Run(cfg)
 }
 
-// run finishes engine construction and drives the event loop.
-func (e *engine) run() (Result, error) {
-	cfg := e.cfg
-	for p := 0; p < cfg.Machine.Processors; p++ {
-		pr := &procRT{
-			id:       p,
-			job:      -1,
-			lastTask: alloc.NoTask,
-			bound:    alloc.NoTask,
-		}
-		// Per-processor event callbacks are built once here so that the
-		// hot path (one completion event per execution segment, one yield
-		// event per idle span) schedules them without allocating a fresh
-		// closure per event.
-		pid := p
+// reset reinitialises the engine for a new run, reusing every piece of
+// substrate whose geometry still fits and growing the pools otherwise. A
+// reset engine is indistinguishable from a freshly constructed one.
+func (e *engine) reset(cfg Config, model cachemodel.Model) error {
+	e.cfg = cfg
+	e.mc = cfg.Machine
+	e.pol = cfg.Policy
+	e.model = model
+	nproc := cfg.Machine.Processors
+	njob := len(cfg.Apps)
+
+	if e.bus == nil {
+		e.bus = bus.MustNew(cfg.Machine.LineFill, cfg.Machine.BusWindow)
+	} else {
+		e.bus.Reset(cfg.Machine.LineFill, cfg.Machine.BusWindow)
+	}
+	if e.st == nil {
+		e.st = alloc.NewState(nproc, njob)
+	} else {
+		e.st.Reset(nproc, njob)
+	}
+	e.credits = sizedZero(e.credits, njob)
+	e.profile = sizedZero(e.profile, nproc+1)
+	e.lastCredit = 0
+	e.activeJobs = 0
+	e.runningCnt = 0
+	e.lastProfile = 0
+	e.quantumEv = nil
+	e.stats = obs.SimStats{}
+
+	// Processor runtime slots. Callbacks are built once per slot so that
+	// the hot path (one completion event per execution segment, one yield
+	// event per idle span) schedules them without allocating a fresh
+	// closure per event — or even per run.
+	for len(e.procPool) < nproc {
+		pid := len(e.procPool)
+		pr := &procRT{id: pid}
 		pr.segDoneFn = func() { e.segmentDone(pid) }
 		pr.yieldFn = func() { e.yieldFire(pid) }
-		e.procs = append(e.procs, pr)
+		e.procPool = append(e.procPool, pr)
 	}
-	for i, app := range cfg.Apps {
-		j, err := workload.NewJob(i, app)
-		if err != nil {
-			return Result{}, err
-		}
-		e.jobs = append(e.jobs, &jobRT{
-			id:  i,
-			app: app,
-			job: j,
-			rng: xrand.New(cfg.Seed, 0x100+uint64(i)),
-		})
+	e.procs = e.procPool[:nproc]
+	for _, pr := range e.procs {
+		pr.job = -1
+		pr.task = nil
+		pr.running = false
+		pr.idle = false
+		pr.yield = false
+		pr.bound = alloc.NoTask
+		pr.lastTask = alloc.NoTask
+		pr.segEv = nil
+		pr.segStart = 0
+		pr.segWall = 0
+		pr.segWork = 0
+		pr.segMisses = 0
+		pr.segMissTime = 0
+		pr.idleStart = 0
+		pr.yieldEv = nil
 	}
 
-	// Schedule arrivals.
-	for i := range e.jobs {
+	// Job runtime slots, with their workload instances and RNG streams
+	// rewound in place.
+	for len(e.jobPool) < njob {
+		i := len(e.jobPool)
+		jr := &jobRT{id: i, job: &workload.Job{}, rng: &xrand.Source{}}
+		jr.arriveFn = func() { e.arrive(i) }
+		e.jobPool = append(e.jobPool, jr)
+	}
+	e.jobs = e.jobPool[:njob]
+	for i, jr := range e.jobs {
+		jr.app = cfg.Apps[i]
+		if err := jr.job.Reset(i, cfg.Apps[i]); err != nil {
+			return err
+		}
+		jr.rng.Seed(cfg.Seed, 0x100+uint64(i))
+		jr.tasks = jr.tasks[:0]
+		jr.arrived = false
+		jr.arrival = 0
+		jr.done = false
+		jr.doneAt = 0
+		jr.work = 0
+		jr.missTime = 0
+		jr.missLines = 0
+		jr.switchTime = 0
+		jr.waste = 0
+		jr.reallocs = 0
+		jr.affinity = 0
+		jr.invalLines = 0
+		jr.allocInt = 0
+		jr.curAlloc = 0
+		jr.lastAllocChange = 0
+	}
+	return nil
+}
+
+// sizedZero returns s with length n and every element zeroed, reusing its
+// backing array when possible.
+func sizedZero[T int64 | float64 | simtime.Duration](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// start seeds the event queue with the run's job arrivals and, for
+// quantum-driven policies, the first quantum tick.
+func (e *engine) start() {
+	cfg := e.cfg
+	for i, jr := range e.jobs {
 		at := simtime.Time(0)
 		if cfg.Arrivals != nil {
 			at = cfg.Arrivals[i]
 		}
-		i := i
-		e.q.At(at, func() { e.arrive(i) })
+		e.q.At(at, jr.arriveFn)
 	}
-	// Quantum ticks for quantum-driven policies.
 	if q := e.pol.Quantum(); q > 0 {
-		var tick func()
-		tick = func() {
-			e.q.Free(e.quantumEv)
-			e.quantumEv = nil
-			if e.activeJobsRemaining() {
-				e.policyEvent(alloc.TrigQuantum, -1)
-				e.quantumEv = e.q.After(q, tick)
+		if e.tickFn == nil {
+			e.tickFn = func() {
+				e.q.Free(e.quantumEv)
+				e.quantumEv = nil
+				if e.activeJobsRemaining() {
+					e.policyEvent(alloc.TrigQuantum, -1)
+					e.quantumEv = e.q.After(e.pol.Quantum(), e.tickFn)
+				}
 			}
 		}
-		e.quantumEv = e.q.After(q, tick)
+		e.quantumEv = e.q.After(q, e.tickFn)
 	}
+}
 
-	events, err := e.q.Run(cfg.MaxEvents)
+// run drives the event loop.
+func (e *engine) run() (Result, error) {
+	e.start()
+	events, err := e.q.Run(e.cfg.MaxEvents)
 	if err != nil {
 		return Result{}, err
 	}
@@ -643,11 +748,19 @@ func (e *engine) chooseTask(j *jobRT, p *procRT) *taskRT {
 			return t
 		}
 		// Create a new kernel task (jobs start workers lazily, up to one
-		// per processor).
+		// per processor), recycling the slot's store on reused engines.
 		if len(j.tasks) < e.mc.Processors {
-			t := &taskRT{
-				ref:      alloc.TaskRef{Job: j.id, Task: len(j.tasks)},
-				gid:      taskGID(j.id, len(j.tasks)),
+			idx := len(j.tasks)
+			var t *taskRT
+			if idx < len(j.taskStore) {
+				t = j.taskStore[idx]
+			} else {
+				t = &taskRT{}
+				j.taskStore = append(j.taskStore, t)
+			}
+			*t = taskRT{
+				ref:      alloc.TaskRef{Job: j.id, Task: idx},
+				gid:      taskGID(j.id, idx),
 				proc:     -1,
 				lastProc: -1,
 			}
@@ -996,8 +1109,8 @@ func (e *engine) applyDecisions(decs []alloc.Decision) {
 			continue
 		}
 		p.job = d.Job
-		if d.Task != nil {
-			p.bound = *d.Task
+		if d.HasTask {
+			p.bound = d.Task
 		} else {
 			p.bound = alloc.NoTask
 		}
@@ -1015,8 +1128,10 @@ func (e *engine) result(events uint64) Result {
 		Policy:          e.pol.Name(),
 		Events:          events,
 		BusTransactions: e.bus.Stats().Transactions,
-		Profile:         e.profile,
-		Stats:           e.stats,
+		// The engine's profile accumulator is reused across runs, so the
+		// returned Result gets its own copy.
+		Profile: append([]simtime.Duration(nil), e.profile...),
+		Stats:   e.stats,
 	}
 	res.Stats.Runs = 1
 	res.Stats.Events = events
@@ -1032,6 +1147,7 @@ func (e *engine) result(events uint64) Result {
 		res.Stats.SwitchNs += int64(j.switchTime)
 		res.Stats.MissNs += int64(j.missTime)
 	}
+	res.Jobs = make([]JobMetrics, 0, len(e.jobs))
 	for _, j := range e.jobs {
 		rt := j.doneAt.Sub(j.arrival)
 		avgAlloc := 0.0

@@ -73,24 +73,27 @@ func MVA() App {
 // MVASized builds an MVA instance with an n×n grid and the given per-thread
 // work.
 func MVASized(n int, work simtime.Duration) App {
-	var b GraphBuilder
-	ids := make([][]ThreadID, n)
-	for i := 0; i < n; i++ {
-		ids[i] = make([]ThreadID, n)
-		for j := 0; j < n; j++ {
-			ids[i][j] = b.AddThread(work)
-			if i > 0 {
-				b.AddDep(ids[i-1][j], ids[i][j])
-			}
-			if j > 0 {
-				b.AddDep(ids[i][j-1], ids[i][j])
+	g := cachedGraph(graphKey{kind: "mva", a: n, w1: int64(work)}, func() *Graph {
+		var b GraphBuilder
+		ids := make([][]ThreadID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = make([]ThreadID, n)
+			for j := 0; j < n; j++ {
+				ids[i][j] = b.AddThread(work)
+				if i > 0 {
+					b.AddDep(ids[i-1][j], ids[i][j])
+				}
+				if j > 0 {
+					b.AddDep(ids[i][j-1], ids[i][j])
+				}
 			}
 		}
-	}
-	g, err := b.Build()
-	if err != nil {
-		panic(err) // static construction cannot fail
-	}
+		g, err := b.Build()
+		if err != nil {
+			panic(err) // static construction cannot fail
+		}
+		return g
+	})
 	// Wavefront cells share row/column boundaries with neighbours.
 	return App{Name: "MVA", Graph: g, Pattern: memtrace.MVAPattern(), SharedFrac: 0.03}
 }
@@ -105,17 +108,20 @@ func Matrix() App {
 // MatrixSized builds a MATRIX instance computing blocks×blocks output
 // blocks with the given per-block work.
 func MatrixSized(blocks int, work simtime.Duration) App {
-	var b GraphBuilder
-	join := simtime.Duration(50 * simtime.Millisecond)
-	sink := b.AddThread(join)
-	for i := 0; i < blocks*blocks; i++ {
-		id := b.AddThread(work)
-		b.AddDep(id, sink)
-	}
-	g, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
+	g := cachedGraph(graphKey{kind: "matrix", a: blocks, w1: int64(work)}, func() *Graph {
+		var b GraphBuilder
+		join := simtime.Duration(50 * simtime.Millisecond)
+		sink := b.AddThread(join)
+		for i := 0; i < blocks*blocks; i++ {
+			id := b.AddThread(work)
+			b.AddDep(id, sink)
+		}
+		g, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	})
 	// Output blocks are disjoint; only reduction results are written
 	// shared.
 	return App{Name: "MATRIX", Graph: g, Pattern: memtrace.MatrixPattern(), SharedFrac: 0.005}
@@ -134,37 +140,43 @@ func Gravity(seed uint64) App {
 // steps, per-phase parallel width, sequential-phase work, and mean parallel
 // thread work.
 func GravitySized(steps, width int, seqWork, parWork simtime.Duration, seed uint64) App {
-	rng := xrand.New(seed, 0xc0ffee)
-	var b GraphBuilder
-	var prevBarrier ThreadID = -1
-	for s := 0; s < steps; s++ {
-		// Sequential phase (tree build).
-		seq := b.AddThread(seqWork)
-		if prevBarrier >= 0 {
-			b.AddDep(prevBarrier, seq)
-		}
-		join := seq
-		for ph := 0; ph < gravityPhases; ph++ {
-			// Parallel phase: 'width' threads; per-phase mean varies,
-			// and threads within a phase vary around it (synchronization
-			// delays in critical sections).
-			phaseScale := 0.6 + 0.2*float64(ph)
-			barrier := b.AddThread(10 * simtime.Millisecond)
-			for w := 0; w < width; w++ {
-				jitter := 0.75 + rng.Float64()/2 // uniform [0.75, 1.25)
-				work := parWork.Scale(phaseScale * jitter)
-				id := b.AddThread(work)
-				b.AddDep(join, id)
-				b.AddDep(id, barrier)
+	// The jitter seed is part of the cache key: distinct seeds yield
+	// distinct thread-time distributions.
+	key := graphKey{kind: "gravity", a: steps, b: width, w1: int64(seqWork), w2: int64(parWork), seed: seed}
+	g := cachedGraph(key, func() *Graph {
+		rng := xrand.New(seed, 0xc0ffee)
+		var b GraphBuilder
+		var prevBarrier ThreadID = -1
+		for s := 0; s < steps; s++ {
+			// Sequential phase (tree build).
+			seq := b.AddThread(seqWork)
+			if prevBarrier >= 0 {
+				b.AddDep(prevBarrier, seq)
 			}
-			join = barrier
+			join := seq
+			for ph := 0; ph < gravityPhases; ph++ {
+				// Parallel phase: 'width' threads; per-phase mean varies,
+				// and threads within a phase vary around it (synchronization
+				// delays in critical sections).
+				phaseScale := 0.6 + 0.2*float64(ph)
+				barrier := b.AddThread(10 * simtime.Millisecond)
+				for w := 0; w < width; w++ {
+					jitter := 0.75 + rng.Float64()/2 // uniform [0.75, 1.25)
+					work := parWork.Scale(phaseScale * jitter)
+					id := b.AddThread(work)
+					b.AddDep(join, id)
+					b.AddDep(id, barrier)
+				}
+				join = barrier
+			}
+			prevBarrier = join
 		}
-		prevBarrier = join
-	}
-	g, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
+		g, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	})
 	// Body updates and tree rebuilds write data every task reads.
 	return App{Name: "GRAVITY", Graph: g, Pattern: memtrace.GravityPattern(), SharedFrac: 0.08}
 }

@@ -1,0 +1,56 @@
+package workload
+
+import "sync"
+
+// Graph construction dominated the allocation profile of every campaign:
+// the same MVA/MATRIX/GRAVITY instances were rebuilt for each of a
+// campaign's (mix, policy, replication) cells, tens of megabytes of
+// identical immutable DAG per run. Because the standard constructors are
+// pure functions of their parameters (GRAVITY includes its jitter seed),
+// their Graphs can be memoized and shared: a Graph is immutable after
+// Build, and Jobs copy all mutable per-run state out of it.
+//
+// The cache is bounded; filling it past graphCacheMax evicts everything
+// (simple, and harmless — eviction only costs a rebuild, never changes a
+// result). Sharing is concurrency-safe: campaign workers only read the
+// cached Graphs.
+
+// graphKey identifies one memoizable graph construction.
+type graphKey struct {
+	kind   string // constructor name: "mva", "matrix", "gravity"
+	a, b   int    // grid size / block count / (steps, width)
+	w1, w2 int64  // work parameters in ns
+	seed   uint64 // jitter seed (gravity only)
+}
+
+const graphCacheMax = 256
+
+var graphCache = struct {
+	sync.Mutex
+	m map[graphKey]*Graph
+}{m: make(map[graphKey]*Graph)}
+
+// cachedGraph returns the memoized graph for key, building and caching it
+// on first use.
+func cachedGraph(key graphKey, build func() *Graph) *Graph {
+	graphCache.Lock()
+	g, ok := graphCache.m[key]
+	graphCache.Unlock()
+	if ok {
+		return g
+	}
+	// Build outside the lock: construction is deterministic, so two racing
+	// builders produce interchangeable graphs and last-write-wins is fine.
+	g = build()
+	graphCache.Lock()
+	if cached, ok := graphCache.m[key]; ok {
+		g = cached // keep the first stored instance for maximal sharing
+	} else {
+		if len(graphCache.m) >= graphCacheMax {
+			clear(graphCache.m)
+		}
+		graphCache.m[key] = g
+	}
+	graphCache.Unlock()
+	return g
+}

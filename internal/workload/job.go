@@ -31,31 +31,65 @@ type Job struct {
 	remaining []simtime.Duration // remaining compute per thread
 	attached  int                // threads in ThreadRunning
 	finished  int
+
+	// readyBuf backs the ready window; Attach advances the window's head
+	// while Complete appends at its tail, and since each thread becomes
+	// ready exactly once a buffer of NumThreads entries covers a whole run
+	// (Detach re-pushes are off the simulator's hot path and simply grow
+	// the slice).
+	readyBuf []ThreadID
+	// newlyScratch backs Complete's return value.
+	newlyScratch []ThreadID
 }
 
 // NewJob instantiates app as job id.
 func NewJob(id int, app App) (*Job, error) {
-	if err := app.Validate(); err != nil {
+	j := &Job{}
+	if err := j.Reset(id, app); err != nil {
 		return nil, err
 	}
-	n := app.Graph.NumThreads()
-	j := &Job{
-		ID:        id,
-		App:       app,
-		state:     make([]ThreadState, n),
-		preds:     make([]int, n),
-		remaining: make([]simtime.Duration, n),
+	return j, nil
+}
+
+// Reset reinitialises j in place as a fresh instance of app with the given
+// id, reusing j's internal slices. A reset job is indistinguishable from
+// NewJob(id, app), which lets long-lived runners recycle Job structures
+// across simulation runs without allocating.
+func (j *Job) Reset(id int, app App) error {
+	if err := app.Validate(); err != nil {
+		return err
 	}
+	n := app.Graph.NumThreads()
+	j.ID = id
+	j.App = app
+	j.state = sized(j.state, n)
+	j.preds = sized(j.preds, n)
+	j.remaining = sized(j.remaining, n)
+	if cap(j.readyBuf) < n {
+		j.readyBuf = make([]ThreadID, n)
+	}
+	j.ready = j.readyBuf[:0]
+	j.attached = 0
+	j.finished = 0
 	for t := 0; t < n; t++ {
 		th := app.Graph.Thread(ThreadID(t))
+		j.state[t] = ThreadBlocked
 		j.preds[t] = th.NPreds
 		j.remaining[t] = th.Work
 	}
-	for _, r := range app.Graph.Roots() {
+	for _, r := range app.Graph.roots {
 		j.state[r] = ThreadReady
 		j.ready = append(j.ready, r)
 	}
-	return j, nil
+	return nil
+}
+
+// sized returns s with length n, reusing its backing array when possible.
+func sized[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // MustNewJob is NewJob for known-good apps.
@@ -115,7 +149,8 @@ func (j *Job) Progress(id ThreadID, d simtime.Duration) simtime.Duration {
 }
 
 // Complete marks the attached thread id finished and returns the threads
-// that became ready as a result.
+// that became ready as a result. The returned slice is scratch owned by the
+// job and is only valid until the next Complete call.
 func (j *Job) Complete(id ThreadID) []ThreadID {
 	if j.state[id] != ThreadRunning {
 		panic(fmt.Sprintf("workload: Complete on thread %d in state %v", id, j.state[id]))
@@ -123,7 +158,7 @@ func (j *Job) Complete(id ThreadID) []ThreadID {
 	j.state[id] = ThreadDone
 	j.attached--
 	j.finished++
-	var newly []ThreadID
+	newly := j.newlyScratch[:0]
 	for _, s := range j.App.Graph.Thread(id).Succs {
 		j.preds[s]--
 		if j.preds[s] == 0 {
@@ -132,6 +167,7 @@ func (j *Job) Complete(id ThreadID) []ThreadID {
 			newly = append(newly, s)
 		}
 	}
+	j.newlyScratch = newly
 	return newly
 }
 

@@ -36,15 +36,21 @@ func splitmix64(s *uint64) uint64 {
 // New returns a stream determined by (seed, stream). Distinct stream values
 // yield statistically independent sequences for the same seed.
 func New(seed, stream uint64) *Source {
+	s := &Source{}
+	s.Seed(seed, stream)
+	return s
+}
+
+// Seed resets s in place to the stream New(seed, stream) would produce, so
+// a long-lived component can rewind its generator between runs without
+// allocating. After Seed the source is bitwise identical to a fresh New.
+func (s *Source) Seed(seed, stream uint64) {
 	sm := seed
-	s := &Source{
-		state: splitmix64(&sm),
-		inc:   (splitmix64(&sm)+2*stream)*2 + 1, // must be odd
-	}
+	s.state = splitmix64(&sm)
+	s.inc = (splitmix64(&sm)+2*stream)*2 + 1 // must be odd
 	// Advance a couple of steps so that similar seeds diverge immediately.
 	s.Uint32()
 	s.Uint32()
-	return s
 }
 
 // Split derives a child stream from s, keyed by label. The parent stream is

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke analytic-smoke ci
 
 all: build
 
@@ -94,4 +94,14 @@ obs-smoke:
 cell-smoke:
 	$(GO) test -race -count=1 -run 'TestCellSmoke' ./cmd/affinityd/
 
-ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke
+# The analytic-engine gate: re-runs the differential calibration grid on
+# both engines and fails if any golden-promoted cell drifted past the 10%
+# tolerance (analyticcalib check mode), then pins the engine-tier cache
+# contract — engine=analytic and engine=sim derive distinct cell cache
+# keys, the analytic body is byte-stable across runs, and engine=auto
+# never selects analytic outside the promotion envelope.
+analytic-smoke:
+	$(GO) run ./cmd/analyticcalib -check
+	$(GO) test -count=1 -run 'TestEngine|TestAnalytic|TestAuto|TestCalibration' ./internal/experiments/
+
+ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke analytic-smoke

@@ -76,6 +76,7 @@ func parse(args []string) (string, *cli, error) {
 	fs := flag.NewFlagSet("affinitysim "+cmd, flag.ContinueOnError)
 	c := &cli{opts: experiments.DefaultOptions()}
 	c.common = cliflags.Register(fs)
+	c.common.RegisterEngine(fs)
 	procs := fs.Int("procs", c.opts.Machine.Processors, "number of processors")
 	reps := fs.Int("reps", c.opts.Replications, "replications per cell")
 	budget := fs.Float64("budget", c.opts.MeasureBudget.SecondsF(), "Table-1 compute budget (seconds)")

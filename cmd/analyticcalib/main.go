@@ -1,0 +1,147 @@
+// Command analyticcalib maintains the analytic engine's promotion golden
+// (internal/analytic/promotion.json): the differential calibration record
+// that defines which campaign cells the `auto` engine tier may serve from
+// the fast analytic estimator instead of the discrete-event simulator.
+//
+// Usage:
+//
+//	analyticcalib [-workers N]                 check mode (default)
+//	analyticcalib -write [-o PATH] [-workers N]
+//
+// Both modes run the pinned calibration grid (internal/experiments
+// .CalibrationGrid) through BOTH engines and print the per-cell error
+// table and the measured wall-clock speedup.
+//
+// -write regenerates the golden: cells whose analytic mean response time
+// is within the strict promote threshold (8%) are marked promoted.
+//
+// Check mode enforces the looser tolerance (10%) on every cell the
+// checked-in golden promotes, failing if the analytic engine has drifted —
+// the hysteresis between the two thresholds keeps borderline cells from
+// flapping across platforms. `make analytic-smoke` runs check mode in ci.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	write := flag.Bool("write", false, "regenerate the promotion golden at -o from this pass")
+	flag.Bool("check", false, "enforce the golden's tolerance on promoted cells (the default mode; flag accepted for explicitness)")
+	out := flag.String("o", "internal/analytic/promotion.json", "golden path for -write")
+	workers := flag.Int("workers", 0, "concurrent calibration cells (0 = all CPUs)")
+	flag.Parse()
+
+	if err := run(*write, *out, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "analyticcalib:", err)
+		os.Exit(1)
+	}
+}
+
+func run(write bool, out string, workers int) error {
+	cal, err := experiments.Calibrate(context.Background(), workers)
+	if err != nil {
+		return err
+	}
+	if err := printTable(cal); err != nil {
+		return err
+	}
+	if write {
+		data, err := json.MarshalIndent(cal.Table, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		promoted := 0
+		for _, c := range cal.Table.Cells {
+			if c.Promoted {
+				promoted++
+			}
+		}
+		fmt.Printf("wrote %s: %d cells, %d promoted (threshold %.0f%%)\n",
+			out, len(cal.Table.Cells), promoted, 100*cal.Table.PromoteRelErr)
+		return nil
+	}
+	return check(cal)
+}
+
+// cellLabel renders one cell's grid coordinate compactly for the table.
+func cellLabel(c analytic.CalCell) string {
+	if c.Kind == "futuresim" {
+		return fmt.Sprintf("futuresim mix=%d p=%g %s", c.Mix, c.Product, c.Policy)
+	}
+	return fmt.Sprintf("compare mix=%d %s", c.Mix, c.Policy)
+}
+
+// printTable renders the per-cell error table and the wall-clock totals.
+func printTable(cal *experiments.Calibration) error {
+	t := report.Table{
+		Title:   "Differential calibration — analytic vs exact simulation",
+		Headers: []string{"cell", "sim RT (s)", "analytic RT (s)", "rel err", "promoted"},
+	}
+	for _, c := range cal.Table.Cells {
+		m := c.Metrics[analytic.PromotionMetric]
+		promoted := ""
+		if c.Promoted {
+			promoted = "yes"
+		}
+		t.AddRow(cellLabel(c), report.F(m.Sim, 3), report.F(m.Analytic, 3),
+			fmt.Sprintf("%.1f%%", 100*m.RelErr), promoted)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		return err
+	}
+	speedup := 0.0
+	if cal.AnalyticSeconds > 0 {
+		speedup = cal.SimSeconds / cal.AnalyticSeconds
+	}
+	fmt.Printf("\nwall clock: sim %.2fs, analytic %.3fs (%.0fx)\n",
+		cal.SimSeconds, cal.AnalyticSeconds, speedup)
+	return nil
+}
+
+// check enforces the golden's tolerance bound on every promoted cell of
+// the fresh pass.
+func check(cal *experiments.Calibration) error {
+	golden := analytic.DefaultTable()
+	fresh := make(map[string]analytic.CalCell, len(cal.Table.Cells))
+	for _, c := range cal.Table.Cells {
+		fresh[c.Coord] = c
+	}
+	var bad []string
+	promoted := 0
+	for _, g := range golden.Cells {
+		if !g.Promoted {
+			continue
+		}
+		promoted++
+		f, ok := fresh[g.Coord]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: golden-promoted cell absent from the calibration grid", g.Coord))
+			continue
+		}
+		if re := f.Metrics[analytic.PromotionMetric].RelErr; re > golden.TolRelErr {
+			bad = append(bad, fmt.Sprintf("%s: %s rel err %.1f%% exceeds tolerance %.0f%%",
+				g.Coord, analytic.PromotionMetric, 100*re, 100*golden.TolRelErr))
+		}
+	}
+	if promoted == 0 {
+		return fmt.Errorf("golden promotes no cells; regenerate with -write")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("%d envelope violations:\n  %s", len(bad), strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("\nall %d golden-promoted cells within tolerance %.0f%%\n", promoted, 100*golden.TolRelErr)
+	return nil
+}

@@ -7,9 +7,9 @@
 // With -check, benchjson instead compares the benchmarks on stdin against
 // an existing baseline and fails when any benchmark's B/op or allocs/op
 // exceeds its baseline ceiling — the allocation regression gate wired into
-// `make ci` via bench-check. Wall-clock (ns/op) is reported but never
-// gated: it varies with the host, while allocation counts are properties
-// of the code.
+// `make ci` via bench-check. Wall-clock (ns/op) is reported as a ratio
+// against the baseline but never gated: it varies with the host, while
+// allocation counts are properties of the code.
 //
 // The GOMAXPROCS suffix (-16) is stripped from names so baselines compare
 // across machines; the parallelism used, the git revision, and the engine
@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -141,6 +142,9 @@ func runWrite(out string, allowDirty bool) error {
 
 // runCheck compares the benchmarks on stdin against the baseline file and
 // fails when any shared benchmark exceeds its B/op or allocs/op ceiling.
+// Wall-clock is printed as a fresh/baseline time-per-op ratio alongside the
+// gated columns, purely for the reader: a 3x allocation-neutral slowdown
+// should be visible in ci output even though only allocations can fail it.
 func runCheck(baselinePath string) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -154,9 +158,15 @@ func runCheck(baselinePath string) error {
 	if err != nil {
 		return err
 	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	compared := 0
 	var failures []string
-	for name, got := range fresh {
+	for _, name := range names {
+		got := fresh[name]
 		rawBase, ok := baseline[name]
 		if !ok || name == "_meta" {
 			continue
@@ -173,8 +183,12 @@ func runCheck(baselinePath string) error {
 			status = "FAIL"
 			failures = append(failures, name)
 		}
-		fmt.Printf("%-4s %-40s %12.0f B/op (ceiling %12.0f)  %9.0f allocs/op (ceiling %9.0f)\n",
-			status, name, got.BPerOp, ceilB, got.AllocsPerOp, ceilA)
+		timeRatio := "time n/a"
+		if base.NsPerOp > 0 {
+			timeRatio = fmt.Sprintf("time %5.2fx", got.NsPerOp/base.NsPerOp)
+		}
+		fmt.Printf("%-4s %-40s %12.0f B/op (ceiling %12.0f)  %9.0f allocs/op (ceiling %9.0f)  %s\n",
+			status, name, got.BPerOp, ceilB, got.AllocsPerOp, ceilA, timeRatio)
 	}
 	if compared == 0 {
 		return fmt.Errorf("no benchmarks on stdin matched the baseline")
@@ -182,6 +196,6 @@ func runCheck(baselinePath string) error {
 	if len(failures) > 0 {
 		return fmt.Errorf("allocation ceilings exceeded: %s", strings.Join(failures, ", "))
 	}
-	fmt.Printf("bench-check: %d benchmark(s) within allocation ceilings\n", compared)
+	fmt.Printf("bench-check: %d benchmark(s) within allocation ceilings (time ratios informational)\n", compared)
 	return nil
 }

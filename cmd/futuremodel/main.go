@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	futuremodel [-procs N] [-reps N] [-seed N] [-fast] [-maxproduct P] [-csv] [-simulate] [-workers N]
+//	futuremodel [-procs N] [-reps N] [-seed N] [-fast] [-maxproduct P] [-csv] [-simulate] [-workers N] [-engine sim|analytic|auto]
 //
 // -simulate additionally re-runs the scheduling simulation on the scaled
 // machines themselves and prints simulated vs model relative response
@@ -29,6 +29,7 @@ import (
 
 func main() {
 	common := cliflags.Register(flag.CommandLine)
+	common.RegisterEngine(flag.CommandLine)
 	procs := flag.Int("procs", 16, "number of processors")
 	reps := flag.Int("reps", 5, "replications per cell")
 	fast := flag.Bool("fast", false, "scaled-down quick mode")

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	policycompare [-procs N] [-reps N] [-seed N] [-mix N] [-fast] [-csv] [-timeshare] [-workers N]
+//	policycompare [-procs N] [-reps N] [-seed N] [-mix N] [-fast] [-csv] [-timeshare] [-workers N] [-engine sim|analytic|auto]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 
 func main() {
 	common := cliflags.Register(flag.CommandLine)
+	common.RegisterEngine(flag.CommandLine)
 	procs := flag.Int("procs", 16, "number of processors")
 	reps := flag.Int("reps", 5, "replications per cell")
 	mixNo := flag.Int("mix", 0, "restrict to one workload mix (1-6, 0 = all)")

@@ -1,0 +1,66 @@
+// Package analytic estimates campaign-cell results — per-policy response
+// times, reallocation counts, and P^A/P^NA penalty charges — from the
+// paper's response-time model (Figure 1) and the footprint curves of
+// internal/footprint, without running the discrete-event simulator.
+//
+// The estimator plays the same role the paper's own Section-7 analysis
+// plays: the authors never simulate their future machines, they extrapolate
+// with the analytic model. Here that idea is productized as a fast engine
+// tier: a level-synchronous fluid approximation of the workload's execution
+// (levels.go), a processor water-fill standing in for the allocation policy
+// (engine.go), and the footprint segment model supplying the cache-reload
+// penalty term. A differential calibration harness
+// (internal/experiments.Calibrate + cmd/analyticcalib) validates the
+// estimator against the exact simulator cell by cell and promotes only the
+// coordinates whose error stays within tolerance (envelope.go); the `auto`
+// engine trusts exactly that envelope.
+//
+// The estimator is deterministic: all accumulation iterates slices in index
+// order, and no maps participate in floating-point arithmetic, so a given
+// Config always produces bitwise identical Results.
+package analytic
+
+import (
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// level is one rank of a job's thread dependence DAG under
+// level-synchronous execution: width threads jointly holding work of
+// baseline compute. Level k contains the threads whose predecessors all
+// complete in levels < k, matching how Graph.MaxWidth and the paper's
+// parallelism figures count runnable threads.
+type level struct {
+	width int
+	work  simtime.Duration
+}
+
+// levelProfile decomposes a graph into its level-synchronous execution
+// profile with the same Kahn traversal Graph.computeWidth uses.
+func levelProfile(g *workload.Graph) []level {
+	n := g.NumThreads()
+	preds := make([]int, n)
+	for id := 0; id < n; id++ {
+		preds[id] = g.Thread(workload.ThreadID(id)).NPreds
+	}
+	frontier := g.Roots()
+	levels := make([]level, 0, 64)
+	var next []workload.ThreadID
+	for len(frontier) > 0 {
+		lv := level{width: len(frontier)}
+		next = next[:0]
+		for _, id := range frontier {
+			th := g.Thread(id)
+			lv.work += th.Work
+			for _, s := range th.Succs {
+				preds[s]--
+				if preds[s] == 0 {
+					next = append(next, s)
+				}
+			}
+		}
+		levels = append(levels, lv)
+		frontier = append(frontier[:0], next...)
+	}
+	return levels
+}

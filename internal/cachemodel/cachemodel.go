@@ -423,5 +423,6 @@ func New(k Kind, nprocs int, cfg cache.Config, seed uint64) (Model, error) {
 	case KindExactNaive:
 		return NewExactNaive(nprocs, cfg, seed)
 	}
-	return nil, fmt.Errorf("cachemodel: unknown kind %d", int(k))
+	return nil, fmt.Errorf("cachemodel: unknown kind %d (valid: %s, %s, %s)",
+		int(k), KindFootprint, KindExact, KindExactNaive)
 }

@@ -2,6 +2,7 @@ package cachemodel
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/cache"
@@ -23,6 +24,20 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := New(Kind(99), 2, symCfg(), 1); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+// An unknown-kind error must name the valid kinds: the message reaches CLI
+// users via config validation, and a bare integer gives them nothing to fix.
+func TestNewUnknownKindNamesValid(t *testing.T) {
+	_, err := New(Kind(99), 2, symCfg(), 1)
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, want := range []string{"footprint", "exact", "exact-naive", "99"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 

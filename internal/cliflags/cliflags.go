@@ -28,6 +28,10 @@ type Common struct {
 	// charges, cache-reload transient). The exhibit output itself is
 	// unchanged — stats flow out of band.
 	Stats bool
+	// Engine is the per-cell execution tier for grid-shaped campaigns;
+	// set only when the binary called RegisterEngine (empty otherwise,
+	// which Apply leaves alone so non-grid binaries are unaffected).
+	Engine string
 
 	// collector accumulates SimStats across every campaign Apply is
 	// called for; created lazily on first Apply when Stats is set.
@@ -46,6 +50,16 @@ func Register(fs *flag.FlagSet) *Common {
 	return c
 }
 
+// RegisterEngine installs the -engine flag on fs. Only the binaries whose
+// campaigns have a simulation grid (policycompare, futuremodel,
+// affinitysim) call it, so the flag never appears where it would be
+// silently ignored.
+func (c *Common) RegisterEngine(fs *flag.FlagSet) {
+	fs.StringVar(&c.Engine, "engine", experiments.EngineSim,
+		"per-cell execution tier for grid-shaped campaigns: sim (discrete-event simulator), "+
+			"analytic (fast fluid estimator), or auto (analytic only inside the validated envelope)")
+}
+
 // Apply copies the shared values onto an experiment campaign's options,
 // creating the stats collector when -stats was given. The collector is
 // shared across every campaign the binary runs, so the printed table
@@ -53,6 +67,9 @@ func Register(fs *flag.FlagSet) *Common {
 func (c *Common) Apply(opts *experiments.Options) {
 	opts.Seed = c.Seed
 	opts.Workers = c.Workers
+	if c.Engine != "" {
+		opts.Engine = c.Engine
+	}
 	if c.Stats && c.collector == nil {
 		c.collector = obs.NewCampaignStats()
 	}

@@ -49,6 +49,13 @@ type Cell struct {
 	// KeyParams is the canonical JSON of every parameter that can
 	// influence the cell's bytes, ready to hash into a cache key.
 	KeyParams []byte
+	// Engine is the resolved execution tier of this cell — EngineSim or
+	// EngineAnalytic, never EngineAuto: auto resolves against the promotion
+	// envelope at planning time, so cache keys (which include Engine for
+	// the grid-shaped kinds) carry only concrete tiers and an auto cell
+	// shares its entry with the same cell requested explicitly. Empty for
+	// kinds without an engine choice.
+	Engine string
 
 	run func(ctx context.Context) (any, error)
 }
@@ -344,6 +351,10 @@ type compareCellKey struct {
 	Seed     uint64 `json:"seed"`
 	Mix      int    `json:"mix"`
 	Policy   string `json:"policy"`
+	// Engine is the resolved tier ("sim" or "analytic"), spelled explicitly
+	// even for the default: analytic estimates and simulated results must
+	// never collide onto one cache entry.
+	Engine string `json:"engine"`
 }
 
 // compareCellJob is one job's replication-averaged outcome within a
@@ -370,13 +381,21 @@ type compareCellPartial struct {
 // mix-major. Shared by the compare and future kinds, whose policy cells
 // are the same cache entries.
 func compareCellList(np CampaignParams, mixNumbers []int, policies []string) ([]Cell, error) {
+	eng, err := normalizeEngine(np.Engine)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Cell
 	for _, mixNum := range mixNumbers {
 		for _, pol := range policies {
 			mixNum, pol := mixNum, pol
+			// Auto resolves here, at planning time, so the key below and the
+			// Cell.Engine surfaced to clients both carry a concrete tier.
+			engine := resolveCellEngine(eng, compareCellCoord(
+				np.Procs, np.Replications, np.AppScale, np.Seed, mixNum, pol))
 			key, err := cellKey(compareCellKey{
 				Procs: np.Procs, Reps: np.Replications, AppScale: np.AppScale,
-				Seed: np.Seed, Mix: mixNum, Policy: pol,
+				Seed: np.Seed, Mix: mixNum, Policy: pol, Engine: engine,
 			})
 			if err != nil {
 				return nil, err
@@ -385,11 +404,16 @@ func compareCellList(np CampaignParams, mixNumbers []int, policies []string) ([]
 				ID:        fmt.Sprintf("mix=%d/policy=%s", mixNum, pol),
 				KeyKind:   "cell/compare",
 				KeyParams: key,
+				Engine:    engine,
 				run: func(ctx context.Context) (any, error) {
 					o, err := np.optionsCtx(ctx)
 					if err != nil {
 						return nil, err
 					}
+					// Pin the resolved tier: the single-coordinate run below
+					// must use exactly the engine hashed into this cell's key,
+					// even though it re-derives the same resolution itself.
+					o.Engine = engine
 					mix, err := workload.MixByNumber(mixNum)
 					if err != nil {
 						return nil, err
@@ -605,6 +629,8 @@ type futureSimCellKey struct {
 	Mix      int     `json:"mix"`
 	Product  float64 `json:"product"`
 	Policy   string  `json:"policy"`
+	// Engine is the resolved tier ("sim" or "analytic"); see compareCellKey.
+	Engine string `json:"engine"`
 }
 
 // futureSimCellPartial is one point's replication-mean response time;
@@ -618,6 +644,10 @@ func futureSimCellPlan(np CampaignParams) (*CellPlan, error) {
 	if _, err := np.options(); err != nil {
 		return nil, err
 	}
+	eng, err := normalizeEngine(np.Engine)
+	if err != nil {
+		return nil, err
+	}
 	// The baseline joins the policy axis as column zero, unconditionally —
 	// mirroring FutureSimulatedCtx.
 	cols := append([]string{"Equipartition"}, np.Policies...)
@@ -625,9 +655,11 @@ func futureSimCellPlan(np CampaignParams) (*CellPlan, error) {
 	for _, prod := range np.Products {
 		for _, col := range cols {
 			prod, col := prod, col
+			engine := resolveCellEngine(eng, futureSimCellCoord(
+				np.Procs, np.Replications, np.AppScale, np.Seed, np.Mix, prod, col))
 			key, err := cellKey(futureSimCellKey{
 				Procs: np.Procs, Reps: np.Replications, AppScale: np.AppScale,
-				Seed: np.Seed, Mix: np.Mix, Product: prod, Policy: col,
+				Seed: np.Seed, Mix: np.Mix, Product: prod, Policy: col, Engine: engine,
 			})
 			if err != nil {
 				return nil, err
@@ -636,6 +668,7 @@ func futureSimCellPlan(np CampaignParams) (*CellPlan, error) {
 				ID:        fmt.Sprintf("product=%g/policy=%s", prod, col),
 				KeyKind:   "cell/futuresim",
 				KeyParams: key,
+				Engine:    engine,
 				run: func(ctx context.Context) (any, error) {
 					o, err := np.optionsCtx(ctx)
 					if err != nil {
@@ -658,7 +691,7 @@ func futureSimCellPlan(np CampaignParams) (*CellPlan, error) {
 					err = parallel.ForEach(ctx, o.Workers, R, func(ctx context.Context, rep int) error {
 						seed := parallel.CellSeed(o.Seed, uint64(rep))
 						pol, _ := core.ByName(col)
-						r, err := runSim(sched.Config{
+						r, err := runCell(engine, sched.Config{
 							Machine: mc,
 							Policy:  pol,
 							Apps:    o.apps(mix, seed),

@@ -77,7 +77,12 @@ func ComparePoliciesCtx(ctx context.Context, opts Options, mixes []workload.Mix,
 		if !ok {
 			return fmt.Errorf("experiments: unknown policy %q", polName)
 		}
-		res, err := runSim(sched.Config{
+		// Resolve the engine tier from the cell's canonical coordinate —
+		// the same resolution the cell planner performs, so the monolithic
+		// and cell-sharded paths agree bit for bit under engine=auto.
+		engine := resolveCellEngine(opts.engine(), compareCellCoord(
+			opts.Machine.Processors, R, opts.AppScale, opts.Seed, mix.Number, polName))
+		res, err := runCell(engine, sched.Config{
 			Machine: opts.Machine,
 			Policy:  pol,
 			Apps:    opts.apps(mix, seed),

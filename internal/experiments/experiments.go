@@ -56,6 +56,11 @@ type Options struct {
 	// out-of-band telemetry: it never feeds a result body or a result-
 	// cache key, and leaving it nil costs nothing.
 	Stats *obs.CampaignStats
+	// Engine selects the per-cell execution tier for the grid-shaped
+	// campaigns (EngineSim, EngineAnalytic, or EngineAuto; empty means
+	// EngineSim). Non-grid experiments (Table1, Characterize, RelatedWork,
+	// MPLSweep) always simulate and ignore it.
+	Engine string
 }
 
 // DefaultOptions returns the paper-faithful configuration.
@@ -99,7 +104,20 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("experiments: Workers must be >= 0, got %d", o.Workers)
 	}
+	if _, err := normalizeEngine(o.Engine); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
 	return nil
+}
+
+// engine returns the normalized engine tier (Validate has already rejected
+// unknown values).
+func (o Options) engine() string {
+	e, err := normalizeEngine(o.Engine)
+	if err != nil {
+		return EngineSim
+	}
+	return e
 }
 
 // apps instantiates a mix's applications at the configured scale. seed

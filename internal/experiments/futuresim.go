@@ -76,7 +76,12 @@ func FutureSimulatedCtx(ctx context.Context, opts Options, mix workload.Mix, pol
 		prodIdx := idx / R / len(cols)
 		seed := parallel.CellSeed(opts.Seed, uint64(rep))
 		pol, _ := core.ByName(cols[col])
-		r, err := runSim(sched.Config{
+		// Same coordinate-driven engine resolution as the cell planner, so
+		// engine=auto picks identical tiers on both execution paths.
+		engine := resolveCellEngine(opts.engine(), futureSimCellCoord(
+			opts.Machine.Processors, R, opts.AppScale, opts.Seed,
+			mix.Number, products[prodIdx], cols[col]))
+		r, err := runCell(engine, sched.Config{
 			Machine: scaled[prodIdx],
 			Policy:  pol,
 			Apps:    opts.apps(mix, seed),

@@ -50,6 +50,13 @@ type CampaignParams struct {
 	Products []float64 `json:"products,omitempty"`
 	// Seed is the campaign root seed (default 1).
 	Seed uint64 `json:"seed,omitempty"`
+	// Engine selects the per-cell execution tier of the grid-shaped kinds
+	// (compare, futuresim, and the comparison half of future): EngineSim,
+	// EngineAnalytic, or EngineAuto; empty means EngineSim. Kinds without a
+	// simulation grid always simulate and reject the other tiers. Engine is
+	// part of the cache identity: analytic estimates and simulated results
+	// never share a cache entry.
+	Engine string `json:"engine,omitempty"`
 	// Workers bounds concurrent simulation cells (0 = all CPUs). Never
 	// part of the cache key.
 	Workers int `json:"workers,omitempty"`
@@ -71,6 +78,9 @@ func (p CampaignParams) options() (Options, error) {
 	case p.Workers < 0:
 		return Options{}, &ParamError{Field: "params.workers", Msg: "must be >= 0"}
 	}
+	if _, err := normalizeEngine(p.Engine); err != nil {
+		return Options{}, &ParamError{Field: "params.engine", Msg: err.Error()}
+	}
 	o := DefaultOptions()
 	if p.Fast {
 		o = FastOptions()
@@ -91,6 +101,7 @@ func (p CampaignParams) options() (Options, error) {
 		o.Seed = p.Seed
 	}
 	o.Workers = p.Workers
+	o.Engine = p.Engine
 	if err := o.Validate(); err != nil {
 		return Options{}, err
 	}
@@ -151,6 +162,19 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 		AppScale:     o.AppScale,
 		Seed:         o.Seed,
 		Workers:      p.Workers,
+	}
+	// The engine tier only exists on the kinds with a simulation grid; the
+	// others always simulate and must not silently accept (and then ignore)
+	// a request for the analytic tier.
+	engine := o.engine()
+	switch c.Kind {
+	case "compare", "future", "futuresim":
+		n.Engine = engine
+	default:
+		if engine != EngineSim {
+			return CampaignParams{}, &ParamError{Field: "params.engine",
+				Msg: fmt.Sprintf("kind %q has no simulation grid; engine must be omitted or %q", c.Kind, EngineSim)}
+		}
 	}
 	// Per-kind knobs: only the fields the kind's driver reads survive.
 	switch c.Kind {

@@ -62,6 +62,11 @@ func (c Campaign) ParamSchema() []ParamSpec {
 		return ParamSpec{Name: "policies", Type: "[]string", Default: def, Allowed: core.PolicyNames(),
 			Description: "policy list, in result order"}
 	}
+	engine := ParamSpec{Name: "engine", Type: "string", Default: EngineSim,
+		Allowed: []string{EngineSim, EngineAnalytic, EngineAuto},
+		Description: "per-cell execution tier: sim runs the discrete-event simulator everywhere, " +
+			"analytic the fast fluid estimator everywhere, auto promotes to analytic only inside " +
+			"the differentially validated envelope; part of the cache identity"}
 	switch c.Kind {
 	case "characterize", "relatedwork":
 		specs = append(specs, reps, appScale)
@@ -71,18 +76,20 @@ func (c Campaign) ParamSchema() []ParamSpec {
 		specs = append(specs, reps, appScale,
 			ParamSpec{Name: "mix", Type: "int", Default: 0, Min: limit(0), Max: limit(6),
 				Description: "restrict to one workload mix (1-6); 0 runs all six"},
-			policies(defaultComparePolicies()))
+			policies(defaultComparePolicies()), engine)
 	case "future":
 		specs = append(specs, reps, appScale, budget, policies(defaultDynamicPolicies()),
 			ParamSpec{Name: "max_product", Type: "float", Default: 4096.0, Min: limit(1),
-				Description: "upper bound of the speed*cache product axis"})
+				Description: "upper bound of the speed*cache product axis"},
+			engine)
 	case "futuresim":
 		specs = append(specs, reps, appScale,
 			ParamSpec{Name: "mix", Type: "int", Default: 5, Min: limit(1), Max: limit(6),
 				Description: "the workload mix simulated on the scaled machines"},
 			policies(defaultDynamicPolicies()),
 			ParamSpec{Name: "products", Type: "[]float", Default: []float64{1, 16, 64, 256, 1024}, Min: limit(1),
-				Description: "speed*cache products to simulate (each >= 1)"})
+				Description: "speed*cache products to simulate (each >= 1)"},
+			engine)
 	}
 	return specs
 }

@@ -23,6 +23,72 @@ func TestHierarchyValidate(t *testing.T) {
 	}
 }
 
+// Hit rates of exactly 0 and exactly 1 are legal boundary values — only
+// rates outside [0,1] are parameter errors.
+func TestHierarchyValidateBoundaries(t *testing.T) {
+	for _, h := range []Hierarchy{
+		{H1: 0, H2: 0, T1: 1, T2: 5, TMem: 40},
+		{H1: 1, H2: 1, T1: 1, T2: 5, TMem: 40},
+	} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("boundary hierarchy %+v rejected: %v", h, err)
+		}
+	}
+}
+
+// Raising either hit rate must strictly lower the mean access time: H1
+// short-circuits the whole miss path, H2 the memory leg of it.
+func TestEffectiveAccessMonotoneInHitRates(t *testing.T) {
+	base := Hierarchy{H1: 0.5, H2: 0.5, T1: 1, T2: 5, TMem: 40}
+	prev := math.Inf(1)
+	for h1 := 0.0; h1 <= 1.0; h1 += 0.05 {
+		h := base
+		h.H1 = h1
+		if got := h.EffectiveAccess(); got >= prev {
+			t.Fatalf("EffectiveAccess not decreasing in H1 at %v: %v >= %v", h1, got, prev)
+		} else {
+			prev = got
+		}
+	}
+	prev = math.Inf(1)
+	for h2 := 0.0; h2 <= 1.0; h2 += 0.05 {
+		h := base
+		h.H2 = h2
+		if got := h.EffectiveAccess(); got >= prev {
+			t.Fatalf("EffectiveAccess not decreasing in H2 at %v: %v >= %v", h2, got, prev)
+		} else {
+			prev = got
+		}
+	}
+	// With perfect first-level hits, only T1 remains.
+	perfect := Hierarchy{H1: 1, H2: 0, T1: 1, T2: 5, TMem: 40}
+	if got := perfect.EffectiveAccess(); got != perfect.T1 {
+		t.Errorf("H1=1 effective access = %v, want T1 = %v", got, perfect.T1)
+	}
+}
+
+// Section 7.2, at the paper's quoted hit rates (95% L1, 80% of L1 misses
+// caught by L2): "hit rates could not be increased enough to obviate the
+// need for faster miss resolution." Quantified: pushing H1 from 95% to the
+// practical ceiling buys well under a 2x access-time improvement, so
+// hit-rate-only scaling is already infeasible by a one-generation (8x)
+// processor speedup.
+func TestLittleRoomForImprovement(t *testing.T) {
+	h := SymmetryHierarchy()
+	ceiling := h
+	ceiling.H1 = PracticalH1Ceiling
+	gain := h.EffectiveAccess() / ceiling.EffectiveAccess()
+	if gain <= 1 || gain >= 2 {
+		t.Errorf("hit-rate headroom = %.3fx; the 'little room' claim expects a gain in (1, 2)", gain)
+	}
+	if _, ok := h.RequiredH1(4); !ok {
+		t.Error("speed 4 should still be within the practical H1 ceiling")
+	}
+	if h1, ok := h.RequiredH1(8); ok {
+		t.Errorf("speed 8 claimed feasible (required H1 %.4f) — contradicts Section 7.2", h1)
+	}
+}
+
 func TestEffectiveAccessKnownValue(t *testing.T) {
 	h := Hierarchy{H1: 0.9, H2: 0.5, T1: 1, T2: 10, TMem: 100}
 	// 1 + 0.1*(10 + 0.5*100) = 1 + 6 = 7

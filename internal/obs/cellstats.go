@@ -18,4 +18,14 @@ type CellStats struct {
 	ExecNs Histogram
 	// MergeNs is the per-campaign merge wall time in nanoseconds.
 	MergeNs Histogram
+
+	// EngineSim and EngineAnalytic split Executions by engine tier: cells
+	// run through the discrete-event simulator (including the kinds with
+	// no engine choice, which always simulate) versus the analytic
+	// estimator. The paired histograms record each tier's execution wall
+	// time, so /metrics exposes the fast tier's measured speedup directly.
+	EngineSim        Counter
+	EngineAnalytic   Counter
+	EngineSimNs      Histogram
+	EngineAnalyticNs Histogram
 }

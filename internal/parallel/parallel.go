@@ -25,6 +25,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -123,14 +125,19 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 
 // runCell invokes fn, converting a panic into an error so one corrupt cell
 // cannot take down the whole campaign process with an unhelpful stack on a
-// random goroutine.
+// random goroutine. The cell's grid index rides as a pprof label, so CPU
+// profiles of a campaign attribute samples to the cells that burned them
+// even below the experiment layer's own kind/cell labels.
 func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("parallel: cell %d panicked: %v", i, r)
 		}
 	}()
-	return fn(ctx, i)
+	pprof.Do(ctx, pprof.Labels("parallel_cell", strconv.Itoa(i)), func(ctx context.Context) {
+		err = fn(ctx, i)
+	})
+	return err
 }
 
 // Fold visits every cell result in ascending index order — the one order

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -45,7 +46,10 @@ type jobEvent struct {
 	// Cache is "hit" or "miss" for cell events — and "miss" on terminal
 	// events, mirroring the X-Cache header a synchronous submit would
 	// have carried (a job only exists for a fresh run).
-	Cache          string `json:"cache,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	// Engine is the cell's resolved execution tier ("sim" or "analytic")
+	// on cell events of the grid-shaped kinds; empty elsewhere.
+	Engine         string `json:"engine,omitempty"`
 	CellsTotal     int    `json:"cells_total"`
 	CellsDone      int    `json:"cells_done"`
 	CellsFromCache int    `json:"cells_from_cache"`
@@ -98,15 +102,16 @@ func (t *cellTracker) appendLocked(ev jobEvent) {
 	t.changed = make(chan struct{})
 }
 
-// recordCell logs one completed cell; cache is "hit" or "miss".
-func (t *cellTracker) recordCell(jobID, cellID string, index int, cache string) {
+// recordCell logs one completed cell; cache is "hit" or "miss", engine
+// the cell's resolved tier ("" for kinds without one).
+func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.done++
 	if cache == "hit" {
 		t.fromCache++
 	}
-	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache})
+	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine})
 }
 
 // recordTerminal logs the job's final event. Called from setTerminal
@@ -144,27 +149,43 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 		if body, ok := s.cellCache.Get(key); ok {
 			s.metrics.cells.Hits.Inc()
 			partials[i] = body
-			j.cells.recordCell(j.id, cell.ID, i, "hit")
+			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine)
 			return nil
 		}
 		s.metrics.cells.Misses.Inc()
 		start := time.Now()
-		res, err := cell.Run(ctx)
-		if err != nil {
-			return err
+		// Label the execution so CPU profiles attribute samples to the
+		// campaign kind and grid coordinate they simulated.
+		var res any
+		var runErr error
+		pprof.Do(ctx, pprof.Labels("campaign", plan.Kind, "cell", cell.ID), func(ctx context.Context) {
+			res, runErr = cell.Run(ctx)
+		})
+		if runErr != nil {
+			return runErr
 		}
 		body, err := report.CanonicalJSON(res)
 		if err != nil {
 			return fmt.Errorf("encode cell %s: %w", cell.ID, err)
 		}
 		s.metrics.cells.Executions.Inc()
-		span(&s.metrics.cells.ExecNs, time.Since(start))
+		elapsed := time.Since(start)
+		span(&s.metrics.cells.ExecNs, elapsed)
+		// Engine-tier accounting: kinds without an engine choice always
+		// simulate, so anything not explicitly analytic counts as sim.
+		if cell.Engine == experiments.EngineAnalytic {
+			s.metrics.cells.EngineAnalytic.Inc()
+			span(&s.metrics.cells.EngineAnalyticNs, elapsed)
+		} else {
+			s.metrics.cells.EngineSim.Inc()
+			span(&s.metrics.cells.EngineSimNs, elapsed)
+		}
 		// Cache the partial the moment it completes: a drain or cancel
 		// later in the campaign keeps this cell's work, so the next
 		// submission resumes from here.
 		s.cellCache.Put(key, body)
 		partials[i] = body
-		j.cells.recordCell(j.id, cell.ID, i, "miss")
+		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine)
 		return nil
 	})
 	if err != nil {

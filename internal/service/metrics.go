@@ -146,6 +146,13 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	counter("affinityd_cell_hits_total", "Campaign cells satisfied from the cell cache.", m.cells.Hits.Load())
 	counter("affinityd_cell_misses_total", "Campaign cells not found in the cell cache.", m.cells.Misses.Load())
 	counter("affinityd_cell_executions_total", "Campaign cells executed to completion.", m.cells.Executions.Load())
+	// Engine-tier split of the executions above: discrete-event simulator
+	// versus the analytic fast estimator (kinds without an engine choice
+	// always simulate and count as sim).
+	b.WriteString("# HELP affinityd_cell_engine_executions_total Campaign cells executed to completion, by engine tier.\n" +
+		"# TYPE affinityd_cell_engine_executions_total counter\n")
+	fmt.Fprintf(&b, "affinityd_cell_engine_executions_total{engine=\"sim\"} %d\n", m.cells.EngineSim.Load())
+	fmt.Fprintf(&b, "affinityd_cell_engine_executions_total{engine=\"analytic\"} %d\n", m.cells.EngineAnalytic.Load())
 	ccs := m.server.cellCache.Stats()
 	counter("affinityd_cellcache_evictions_total", "Cell-cache LRU evictions.", ccs.Evictions)
 	gauge("affinityd_cellcache_entries", "Cell-cache resident entries.", ccs.Entries)
@@ -172,6 +179,10 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	nsHistogram(&b, "affinityd_request_queue_wait_seconds", "Time an admitted job waited before a worker dispatched it.", &m.spanQueueWait)
 	nsHistogram(&b, "affinityd_request_exec_seconds", "Campaign execution wall time per job.", &m.spanExec)
 	nsHistogram(&b, "affinityd_cell_exec_seconds", "Per-cell execution wall time (cache misses only).", &m.cells.ExecNs)
+	b.WriteString("# HELP affinityd_cell_engine_exec_seconds Per-cell execution wall time by engine tier (cache misses only).\n" +
+		"# TYPE affinityd_cell_engine_exec_seconds histogram\n")
+	nsHistogramSeries(&b, "affinityd_cell_engine_exec_seconds", `engine="sim"`, &m.cells.EngineSimNs)
+	nsHistogramSeries(&b, "affinityd_cell_engine_exec_seconds", `engine="analytic"`, &m.cells.EngineAnalyticNs)
 	nsHistogram(&b, "affinityd_cell_merge_seconds", "Per-campaign cell-merge wall time.", &m.cells.MergeNs)
 
 	m.mu.Lock()
@@ -231,4 +242,21 @@ func nsHistogram(b *strings.Builder, name, help string, h *obs.Histogram) {
 	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
 	fmt.Fprintf(b, "%s_sum %s\n", name, trimFloat(float64(snap.Sum)/1e9))
 	fmt.Fprintf(b, "%s_count %d\n", name, snap.Count)
+}
+
+// nsHistogramSeries renders one labeled series of an ns-histogram family.
+// The caller writes the family's HELP/TYPE header once; labels is the
+// rendered label set shared by every line (e.g. `engine="sim"`).
+func nsHistogramSeries(b *strings.Builder, name, labels string, h *obs.Histogram) {
+	snap := h.Snapshot()
+	cum := uint64(0)
+	for i := 0; i < obs.HistogramBuckets; i++ {
+		cum += snap.Counts[i]
+		if i >= nsHistMinExp && i <= nsHistMaxExp {
+			fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, trimFloat(float64(obs.BucketBound(i))/1e9), cum)
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, snap.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, trimFloat(float64(snap.Sum)/1e9))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, snap.Count)
 }

@@ -240,6 +240,7 @@ func (j *job) view() jobView {
 		// inline without one — so its disposition is always "miss"; the
 		// field mirrors the deprecated X-Cache header into the body.
 		Cache:     "miss",
+		Engine:    j.params.Engine,
 		RequestID: j.requestID,
 		Error:     j.errMsg,
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
@@ -267,6 +268,9 @@ type jobView struct {
 	CacheKey   string `json:"cache_key"`
 	// Cache mirrors the X-Cache disposition ("miss": jobs are fresh runs).
 	Cache string `json:"cache,omitempty"`
+	// Engine echoes the campaign's normalized engine tier ("sim",
+	// "analytic", or "auto"); empty for kinds without an engine choice.
+	Engine string `json:"engine,omitempty"`
 	// RequestID mirrors the X-Request-Id of the submitting request.
 	RequestID string `json:"request_id,omitempty"`
 	Error     string `json:"error,omitempty"`

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke analytic-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke analytic-smoke persist-smoke ci
 
 all: build
 
@@ -94,6 +94,15 @@ obs-smoke:
 cell-smoke:
 	$(GO) test -race -count=1 -run 'TestCellSmoke' ./cmd/affinityd/
 
+# The persistence gate: boots the real binary with a temp -store-dir,
+# kill -9s it mid-campaign, reboots on the same directory, and requires
+# the flushed cells to be served from disk with a final body
+# byte-identical to a cold run — then a third boot to prove the
+# completed campaign body itself is re-served from disk with zero cell
+# executions (DESIGN.md "Persistence" crash-consistency contract).
+persist-smoke:
+	$(GO) test -race -count=1 -run 'TestPersistSmoke' ./cmd/affinityd/
+
 # The analytic-engine gate: re-runs the differential calibration grid on
 # both engines and fails if any golden-promoted cell drifted past the 10%
 # tolerance (analyticcalib check mode), then pins the engine-tier cache
@@ -104,4 +113,4 @@ analytic-smoke:
 	$(GO) run ./cmd/analyticcalib -check
 	$(GO) test -count=1 -run 'TestEngine|TestAnalytic|TestAuto|TestCalibration' ./internal/experiments/
 
-ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke analytic-smoke
+ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke persist-smoke analytic-smoke

@@ -12,6 +12,7 @@
 //
 //	affinityd [-addr HOST:PORT] [-queue N] [-jobs N] [-cache-mb MB]
 //	          [-retry-after SEC] [-job-ttl-sec SEC] [-max-jobs N]
+//	          [-store-dir DIR] [-store-budget MB] [-store-sync]
 //	          [-workers N] [-seed N] [-cpuprofile FILE] [-memprofile FILE]
 //	          [-stats] [-pprof]
 //
@@ -25,6 +26,13 @@
 //	             /v1/jobs before eviction (default 300); evicted ids
 //	             return 404, but the result body stays in the cache
 //	-max-jobs    retained finished jobs regardless of age (default 256)
+//	-store-dir   directory for the persistent result store; results (both
+//	             campaign bodies and individual cells) survive restarts
+//	             and are re-served without executing (default: off)
+//	-store-budget disk byte budget for -store-dir in MiB; the store
+//	             evicts cheapest-to-recompute entries first (0 = no limit)
+//	-store-sync  fsync each write-behind flush batch (safer on power loss,
+//	             slower; without it a crash can lose the last batch)
 //	-workers     per-campaign simulation-cell concurrency applied when a
 //	             request omits params.workers (0 = all CPUs)
 //	-seed        default root seed for requests that omit params.seed
@@ -42,7 +50,8 @@
 //	curl -sN localhost:8642/v1/jobs/j00000001/events  # NDJSON progress
 //
 // SIGINT/SIGTERM drain gracefully: queued jobs are cancelled, in-flight
-// jobs run to completion (up to -drain-sec), then the listener closes.
+// jobs run to completion (up to -drain-sec), the persistent store's
+// write-behind queue is flushed and fsynced, then the listener closes.
 package main
 
 import (
@@ -57,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/cliflags"
+	"repro/internal/diskstore"
 	"repro/internal/service"
 	"repro/internal/version"
 )
@@ -79,6 +89,9 @@ func run() (err error) {
 	jobTTL := fs.Int("job-ttl-sec", 300, "seconds finished jobs stay pollable before eviction")
 	maxJobs := fs.Int("max-jobs", 256, "max retained finished jobs regardless of age")
 	drainSec := fs.Int("drain-sec", 60, "max seconds to drain in-flight jobs at shutdown")
+	storeDir := fs.String("store-dir", "", "persistent result-store directory (empty = no persistence)")
+	storeBudget := fs.Int64("store-budget", 0, "persistent-store disk budget (MiB, 0 = no limit)")
+	storeSync := fs.Bool("store-sync", false, "fsync each persistent-store flush batch")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 	fs.Parse(os.Args[1:])
 
@@ -107,6 +120,23 @@ func run() (err error) {
 		// -stats on the daemon prints each completed job's decomposition
 		// table to stdout as it finishes.
 		cfg.StatsWriter = os.Stdout
+	}
+	if *storeDir != "" {
+		store, serr := diskstore.Open(*storeDir, diskstore.Options{
+			Budget:        *storeBudget << 20,
+			SyncEach:      *storeSync,
+			EngineVersion: version.Engine,
+		})
+		if serr != nil {
+			return fmt.Errorf("open store %s: %w", *storeDir, serr)
+		}
+		// Close after the drain below: Shutdown already synced the
+		// write-behind queue, so Close here just releases file handles.
+		defer store.Close()
+		st := store.Stats()
+		fmt.Printf("affinityd: store %s: %d entries in %d segments (%d bytes)\n",
+			*storeDir, st.Entries, st.Segments, st.DiskBytes)
+		cfg.Store = store
 	}
 	srv := service.New(cfg)
 

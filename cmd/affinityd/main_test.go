@@ -250,6 +250,200 @@ func TestSigtermDrains(t *testing.T) {
 	}
 }
 
+// TestPersistSmoke is the `make persist-smoke` gate, the whole
+// persistence story against the real binary:
+//
+//  1. Boot with a fresh -store-dir, start a table1 campaign, and SIGKILL
+//     the process mid-grid — no drain, no flush barrier.
+//  2. Reboot on the same directory and re-submit: every cell the dead
+//     process had flushed must be served from disk (zero re-execution
+//     for them), and the final body must be byte-identical to a cold,
+//     uninterrupted run.
+//  3. Terminate gracefully, boot a third time, re-submit: the completed
+//     campaign body itself is now on disk, so the response is X-Cache:
+//     disk with zero cells executed.
+func TestPersistSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build and campaign runs in -short mode")
+	}
+	const totalCells = 9 // table1: 3 Qs x 3 measured applications
+	req := `{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"reps":1,"workers":1}}`
+	bin := filepath.Join(t.TempDir(), "affinityd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	// boot starts the daemon against storeDir and returns the process and
+	// its advertised base URL.
+	boot := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-jobs", "1", "-queue", "2", "-store-dir", storeDir)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				go func() {
+					for sc.Scan() {
+					} // drain the pipe so the child never blocks on stdout
+				}()
+				return cmd, strings.Fields(line[i:])[0]
+			}
+		}
+		t.Fatal("daemon never advertised its address")
+		return nil, ""
+	}
+	get := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	metric := func(base, name string) int {
+		t.Helper()
+		mb := get(base, "/metrics")
+		for _, line := range strings.Split(string(mb), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == name {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					t.Fatalf("%s: bad value %q", name, fields[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metrics missing series %s:\n%s", name, mb)
+		return 0
+	}
+
+	// Cold, uninterrupted reference body from the in-process serving core.
+	coldSrv := service.New(service.Config{QueueDepth: 4, JobWorkers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		coldSrv.Shutdown(ctx)
+	}()
+	coldLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldHS := &http.Server{Handler: coldSrv.Handler()}
+	go coldHS.Serve(coldLn)
+	defer coldHS.Close()
+	coldResp, err := http.Post("http://"+coldLn.Addr().String()+"/v1/campaigns", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBody, _ := io.ReadAll(coldResp.Body)
+	coldResp.Body.Close()
+	if coldResp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %d %s", coldResp.StatusCode, coldBody)
+	}
+
+	// Phase 1: run, wait for at least 4 flushed cell frames, kill -9.
+	procA, baseA := boot()
+	defer procA.Process.Kill()
+	ar, err := http.Post(baseA+"/v1/campaigns", "application/json", strings.NewReader(strings.TrimSuffix(req, "}")+`,"async":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if ar.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", ar.StatusCode, ab)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for metric(baseA, "affinityd_store_flushed_frames_total") < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("store never flushed 4 frames")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	flushed := metric(baseA, "affinityd_store_flushed_frames_total")
+	if err := procA.Process.Kill(); err != nil { // SIGKILL: no drain, no fsync
+		t.Fatal(err)
+	}
+	procA.Wait()
+
+	// Phase 2: reboot on the same directory. The killed run's flushed
+	// cells are served from disk; only the remainder executes; the body
+	// matches the cold run bit for bit.
+	procB, baseB := boot()
+	defer procB.Process.Kill()
+	br, err := http.Post(baseB+"/v1/campaigns", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmBody, _ := io.ReadAll(br.Body)
+	br.Body.Close()
+	if br.StatusCode != http.StatusOK {
+		t.Fatalf("rebooted run: %d %s", br.StatusCode, warmBody)
+	}
+	if !bytes.Equal(warmBody, coldBody) {
+		t.Errorf("rebooted body differs from cold run:\n%.200s\n%.200s", warmBody, coldBody)
+	}
+	disk := metric(baseB, "affinityd_cell_disk_hits_total")
+	execs := metric(baseB, "affinityd_cell_executions_total")
+	misses := metric(baseB, "affinityd_cell_misses_total")
+	// At least the 4 frames observed flushed were durable (nothing past
+	// `flushed` is guaranteed: the kill races the flusher).
+	if disk < 4 {
+		t.Errorf("rebooted run served %d cells from disk, want >= 4 (flushed=%d)", disk, flushed)
+	}
+	if disk+execs != totalCells || misses != execs {
+		t.Errorf("cell accounting: disk=%d misses=%d executions=%d, want disk+executions=%d and misses=executions",
+			disk, misses, execs, totalCells)
+	}
+	// Graceful SIGTERM: the drain flushes the completed campaign body.
+	if err := procB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := procB.Wait(); err != nil {
+		t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+	}
+
+	// Phase 3: third boot serves the whole campaign straight from disk.
+	procC, baseC := boot()
+	defer procC.Process.Kill()
+	cr, err := http.Post(baseC+"/v1/campaigns", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskBody, _ := io.ReadAll(cr.Body)
+	cr.Body.Close()
+	if cr.StatusCode != http.StatusOK {
+		t.Fatalf("third-boot run: %d %s", cr.StatusCode, diskBody)
+	}
+	if got := cr.Header.Get("X-Cache"); got != "disk" {
+		t.Errorf("third-boot X-Cache = %q, want disk", got)
+	}
+	if !bytes.Equal(diskBody, coldBody) {
+		t.Errorf("third-boot body differs from cold run:\n%.200s\n%.200s", diskBody, coldBody)
+	}
+	if x := metric(baseC, "affinityd_cell_executions_total"); x != 0 {
+		t.Errorf("third boot executed %d cells, want 0", x)
+	}
+	procC.Process.Signal(syscall.SIGTERM)
+	procC.Wait()
+}
+
 // TestCellSmoke is the `make cell-smoke` gate: start a table1 campaign,
 // kill the daemon core mid-grid via an expired drain context, then
 // re-submit the identical campaign on a second server sharing the same

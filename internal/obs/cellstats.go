@@ -8,8 +8,14 @@ package obs
 type CellStats struct {
 	// Hits counts cells satisfied from the cell cache without executing.
 	Hits Counter
-	// Misses counts cell-cache lookups that found nothing; each miss is
-	// followed by an execution attempt.
+	// DiskHits counts cells satisfied from the persistent disk tier
+	// (internal/diskstore) after missing the in-memory cache; the body is
+	// promoted into the memory tier as a side effect. Disk hits are not
+	// Misses: the invariant Misses == execution attempts holds with or
+	// without a disk tier.
+	DiskHits Counter
+	// Misses counts cell lookups that found nothing in any tier; each
+	// miss is followed by an execution attempt.
 	Misses Counter
 	// Executions counts cells executed and encoded to completion
 	// (Misses minus cells aborted by cancellation or error).

@@ -47,6 +47,11 @@ type Stats struct {
 	Bytes     int64
 	Budget    int64
 	Evictions uint64
+	// CostNs is the total production cost (engine exec nanoseconds) of the
+	// resident entries — the bytes-per-simulated-second currency this tier
+	// shares with the disk tier (internal/diskstore). Entries stored via
+	// the zero-cost Put contribute nothing.
+	CostNs uint64
 }
 
 // Cache is a thread-safe LRU over immutable byte values with a total byte
@@ -62,11 +67,13 @@ type Cache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	costNs    uint64 // total cost of resident entries
 }
 
 type entry struct {
-	key string
-	val []byte
+	key    string
+	val    []byte
+	costNs uint64
 }
 
 // New builds a cache holding at most budget bytes of values (keys and
@@ -96,12 +103,25 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*entry).val, true
 }
 
-// Put stores val under key, evicting least-recently-used entries until the
-// byte budget holds. A value larger than the whole budget is not stored.
-// Re-putting an existing key refreshes its recency but keeps the original
-// bytes: results are content-addressed, so a second body for the same key
-// is byte-identical by construction and there is nothing to replace.
-func (c *Cache) Put(key string, val []byte) {
+// Put stores val under key with zero cost metadata, evicting
+// least-recently-used entries until the byte budget holds. It is the
+// byte-compatible legacy path: behavior is identical to the pre-cost
+// cache. A value larger than the whole budget is not stored. Re-putting
+// an existing key refreshes its recency but keeps the original bytes:
+// results are content-addressed, so a second body for the same key is
+// byte-identical by construction and there is nothing to replace.
+func (c *Cache) Put(key string, val []byte) { c.PutCost(key, val, 0) }
+
+// PutCost stores val under key together with the engine time (in
+// nanoseconds) it cost to produce — the eviction currency shared with the
+// disk tier. This tier still evicts by recency; the cost rides along so
+// Stats can report the simulated-seconds held resident and so a write-
+// behind or promotion into the disk tier carries the entry's value with
+// it. Re-putting an existing key keeps its bytes and recency semantics
+// (see Put) but adopts the cost if none was recorded yet, so a zero-cost
+// legacy Put followed by a costed one does not pin the entry at zero
+// value forever.
+func (c *Cache) PutCost(key string, val []byte, costNs uint64) {
 	if c.budget <= 0 || int64(len(val)) > c.budget {
 		return
 	}
@@ -109,6 +129,10 @@ func (c *Cache) Put(key string, val []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
+		if e := el.Value.(*entry); e.costNs == 0 && costNs > 0 {
+			e.costNs = costNs
+			c.costNs += costNs
+		}
 		return
 	}
 	for c.used+int64(len(val)) > c.budget {
@@ -120,10 +144,12 @@ func (c *Cache) Put(key string, val []byte) {
 		c.ll.Remove(oldest)
 		delete(c.items, e.key)
 		c.used -= int64(len(e.val))
+		c.costNs -= e.costNs
 		c.evictions++
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val, costNs: costNs})
 	c.used += int64(len(val))
+	c.costNs += costNs
 }
 
 // Stats snapshots the counters.
@@ -137,5 +163,6 @@ func (c *Cache) Stats() Stats {
 		Bytes:     c.used,
 		Budget:    c.budget,
 		Evictions: c.evictions,
+		CostNs:    c.costNs,
 	}
 }

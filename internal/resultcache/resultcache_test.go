@@ -186,3 +186,35 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPutCostAccounting pins the shared eviction-currency bookkeeping:
+// resident CostNs tracks inserts, evictions, and the adopt-on-repeat rule,
+// while the zero-cost Put path stays byte-compatible (cost stays zero).
+func TestPutCostAccounting(t *testing.T) {
+	c := New(100)
+	c.PutCost("a", make([]byte, 40), 5_000)
+	c.PutCost("b", make([]byte, 40), 7_000)
+	if st := c.Stats(); st.CostNs != 12_000 {
+		t.Errorf("CostNs = %d, want 12000", st.CostNs)
+	}
+	// Evicting a (LRU) must release its cost.
+	c.PutCost("c", make([]byte, 40), 1_000)
+	st := c.Stats()
+	if st.Entries != 2 || st.CostNs != 8_000 {
+		t.Errorf("after eviction: entries=%d CostNs=%d, want 2 and 8000", st.Entries, st.CostNs)
+	}
+	// Re-putting an existing key keeps its original cost...
+	c.PutCost("b", make([]byte, 40), 9_999)
+	if st := c.Stats(); st.CostNs != 8_000 {
+		t.Errorf("re-put changed cost: CostNs = %d, want 8000", st.CostNs)
+	}
+	// ...unless none was recorded, in which case the cost is adopted.
+	c.Put("zero", make([]byte, 10))
+	if st := c.Stats(); st.CostNs != 8_000 {
+		t.Errorf("zero-cost Put contributed cost: %d", st.CostNs)
+	}
+	c.PutCost("zero", make([]byte, 10), 500)
+	if st := c.Stats(); st.CostNs != 8_500 {
+		t.Errorf("cost not adopted on re-put: CostNs = %d, want 8500", st.CostNs)
+	}
+}

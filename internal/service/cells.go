@@ -43,9 +43,10 @@ type jobEvent struct {
 	Cell string `json:"cell,omitempty"`
 	// Index is the cell's position in the plan; -1 on terminal events.
 	Index int `json:"index"`
-	// Cache is "hit" or "miss" for cell events — and "miss" on terminal
-	// events, mirroring the X-Cache header a synchronous submit would
-	// have carried (a job only exists for a fresh run).
+	// Cache is "hit" (memory tier), "disk" (persistent tier), or "miss"
+	// for cell events — and "miss" on terminal events, mirroring the
+	// X-Cache header a synchronous submit would have carried (a job only
+	// exists for a fresh run).
 	Cache string `json:"cache,omitempty"`
 	// Engine is the cell's resolved execution tier ("sim" or "analytic")
 	// on cell events of the grid-shaped kinds; empty elsewhere.
@@ -53,6 +54,7 @@ type jobEvent struct {
 	CellsTotal     int    `json:"cells_total"`
 	CellsDone      int    `json:"cells_done"`
 	CellsFromCache int    `json:"cells_from_cache"`
+	CellsFromDisk  int    `json:"cells_from_disk"`
 	// RequestID mirrors the X-Request-Id of the submitting request.
 	RequestID string `json:"request_id,omitempty"`
 	Error     string `json:"error,omitempty"`
@@ -67,6 +69,7 @@ type cellTracker struct {
 	total     int
 	done      int
 	fromCache int
+	fromDisk  int
 	events    []jobEvent
 	// changed is closed and replaced whenever an event is appended;
 	// stream handlers park on the current instance.
@@ -83,10 +86,10 @@ func (t *cellTracker) setTotal(n int) {
 	t.mu.Unlock()
 }
 
-func (t *cellTracker) counts() (total, done, fromCache int) {
+func (t *cellTracker) counts() (total, done, fromCache, fromDisk int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.total, t.done, t.fromCache
+	return t.total, t.done, t.fromCache, t.fromDisk
 }
 
 // appendLocked stamps the event with the tracker's current counts and
@@ -97,19 +100,24 @@ func (t *cellTracker) appendLocked(ev jobEvent) {
 	ev.CellsTotal = t.total
 	ev.CellsDone = t.done
 	ev.CellsFromCache = t.fromCache
+	ev.CellsFromDisk = t.fromDisk
 	t.events = append(t.events, ev)
 	close(t.changed)
 	t.changed = make(chan struct{})
 }
 
-// recordCell logs one completed cell; cache is "hit" or "miss", engine
-// the cell's resolved tier ("" for kinds without one).
+// recordCell logs one completed cell; cache is "hit" (memory), "disk"
+// (persistent tier), or "miss", engine the cell's resolved tier ("" for
+// kinds without one).
 func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.done++
-	if cache == "hit" {
+	switch cache {
+	case "hit":
 		t.fromCache++
+	case "disk":
+		t.fromDisk++
 	}
 	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine})
 }
@@ -152,6 +160,18 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine)
 			return nil
 		}
+		// Disk tier: a cell some earlier process (or an evicted cache
+		// generation) already simulated. Promote it so siblings in this
+		// grid — and the next campaign — hit memory.
+		if s.store != nil {
+			if body, costNs, ok := s.store.Get(key); ok {
+				s.metrics.cells.DiskHits.Inc()
+				s.cellCache.PutCost(key, body, costNs)
+				partials[i] = body
+				j.cells.recordCell(j.id, cell.ID, i, "disk", cell.Engine)
+				return nil
+			}
+		}
 		s.metrics.cells.Misses.Inc()
 		start := time.Now()
 		// Label the execution so CPU profiles attribute samples to the
@@ -180,10 +200,14 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 			s.metrics.cells.EngineSim.Inc()
 			span(&s.metrics.cells.EngineSimNs, elapsed)
 		}
-		// Cache the partial the moment it completes: a drain or cancel
-		// later in the campaign keeps this cell's work, so the next
-		// submission resumes from here.
-		s.cellCache.Put(key, body)
+		// Cache the partial the moment it completes — in both tiers: a
+		// drain or cancel later in the campaign keeps this cell's work,
+		// and the write-behind disk Put survives a process death. The
+		// exec time rides along as the eviction currency.
+		s.cellCache.PutCost(key, body, uint64(elapsed))
+		if s.store != nil {
+			s.store.Put(key, body, uint64(elapsed))
+		}
 		partials[i] = body
 		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine)
 		return nil

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diskstore"
 	"repro/internal/obs"
 )
 
@@ -52,6 +53,7 @@ type metrics struct {
 	// Request-scoped span histograms, in nanoseconds (obs log2 buckets;
 	// two atomic adds per observation, no floating point until render).
 	spanCacheLookup obs.Histogram // result-cache Get on the submit path
+	spanStoreLookup obs.Histogram // disk-store Get after a memory miss
 	spanAdmit       obs.Histogram // admission / singleflight attach
 	spanQueueWait   obs.Histogram // admitted -> dispatched by a worker
 	spanExec        obs.Histogram // campaign execution wall time
@@ -144,7 +146,8 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	// Cell-level execution: how much of each campaign's grid was reused
 	// from the per-cell cache versus freshly simulated.
 	counter("affinityd_cell_hits_total", "Campaign cells satisfied from the cell cache.", m.cells.Hits.Load())
-	counter("affinityd_cell_misses_total", "Campaign cells not found in the cell cache.", m.cells.Misses.Load())
+	counter("affinityd_cell_disk_hits_total", "Campaign cells satisfied from the persistent disk tier.", m.cells.DiskHits.Load())
+	counter("affinityd_cell_misses_total", "Campaign cells not found in any cache tier.", m.cells.Misses.Load())
 	counter("affinityd_cell_executions_total", "Campaign cells executed to completion.", m.cells.Executions.Load())
 	// Engine-tier split of the executions above: discrete-event simulator
 	// versus the analytic fast estimator (kinds without an engine choice
@@ -158,6 +161,28 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	gauge("affinityd_cellcache_entries", "Cell-cache resident entries.", ccs.Entries)
 	gauge("affinityd_cellcache_bytes", "Cell-cache resident bytes.", ccs.Bytes)
 	gauge("affinityd_cellcache_budget_bytes", "Cell-cache byte budget.", ccs.Budget)
+
+	// Persistent disk tier. Rendered even when no store is configured (all
+	// zeros) so dashboards and scrape tests see a stable metric set.
+	var ds diskstore.Stats
+	if m.server.store != nil {
+		ds = m.server.store.Stats()
+	}
+	counter("affinityd_store_hits_total", "Disk-store hits (CRC-verified reads).", ds.Hits)
+	counter("affinityd_store_misses_total", "Disk-store misses.", ds.Misses)
+	counter("affinityd_store_puts_total", "Disk-store writes accepted onto the write-behind queue.", ds.Puts)
+	counter("affinityd_store_dropped_total", "Disk-store writes dropped because the write-behind queue was full.", ds.Dropped)
+	counter("affinityd_store_flushed_frames_total", "Frames the background flusher appended to segment files.", ds.FlushedFrames)
+	counter("affinityd_store_evictions_total", "Disk-store entries evicted under the byte budget.", ds.Evictions)
+	counter("affinityd_store_corrupt_frames_total", "Frames rejected by CRC or framing checks (scan and read paths).", ds.CorruptFrames)
+	counter("affinityd_store_dup_frames_total", "Duplicate-key frames skipped (scan and flush paths).", ds.DupFrames)
+	counter("affinityd_store_truncated_bytes_total", "Bytes truncated from segment tails during startup recovery.", ds.TruncatedBytes)
+	gauge("affinityd_store_entries", "Disk-store live entries.", ds.Entries)
+	gauge("affinityd_store_segments", "Disk-store segment files.", ds.Segments)
+	gauge("affinityd_store_disk_bytes", "Disk-store bytes on disk (live + dead).", ds.DiskBytes)
+	gauge("affinityd_store_live_bytes", "Disk-store bytes referenced by live entries.", ds.LiveBytes)
+	gauge("affinityd_store_budget_bytes", "Disk-store byte budget (0 = unbudgeted).", ds.Budget)
+	gauge("affinityd_store_flush_queue_depth", "Writes waiting on the write-behind queue.", ds.QueueDepth)
 
 	// Engine-level simulation counters, folded from every completed job's
 	// per-run SimStats (the paper's Figure 1 decomposition).
@@ -175,6 +200,7 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	gauge("affinityd_sim_eventq_peak", "Max pending-event depth across completed runs.", sim.EventqPeak)
 
 	nsHistogram(&b, "affinityd_request_cache_lookup_seconds", "Result-cache lookup latency on the submit path.", &m.spanCacheLookup)
+	nsHistogram(&b, "affinityd_request_store_lookup_seconds", "Disk-store lookup latency after a memory-cache miss.", &m.spanStoreLookup)
 	nsHistogram(&b, "affinityd_request_admit_seconds", "Admission / singleflight-attach latency.", &m.spanAdmit)
 	nsHistogram(&b, "affinityd_request_queue_wait_seconds", "Time an admitted job waited before a worker dispatched it.", &m.spanQueueWait)
 	nsHistogram(&b, "affinityd_request_exec_seconds", "Campaign execution wall time per job.", &m.spanExec)

@@ -21,7 +21,11 @@
 //     re-executes only the cells it has never seen, and a campaign
 //     cancelled mid-flight resumes from its finished cells on
 //     resubmission. Campaigns are deterministic and merges byte-exact,
-//     so either cache serves bits identical to a fresh run.
+//     so either cache serves bits identical to a fresh run. When
+//     Config.Store is set, both caches sit on a persistent disk tier
+//     (internal/diskstore): completed bodies and cells are written behind
+//     to checksummed segment files and read through on a memory miss, so
+//     a restart warm-starts from everything any earlier process finished.
 //   - Cooperative cancellation. Every job carries a context; cancelling
 //     it (client disconnect with no other waiters, DELETE /v1/jobs/{id},
 //     or server shutdown) stops the campaign from scheduling new
@@ -62,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diskstore"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -122,6 +127,14 @@ type Config struct {
 	// campaign-body cache so cell traffic never evicts (or pollutes the
 	// hit counters of) whole-campaign entries.
 	CellCache *resultcache.Cache
+	// Store is the persistent tier beneath both in-memory caches
+	// (internal/diskstore): campaign bodies and cell results are written
+	// behind on completion and read through (with promotion into the LRU
+	// tier) on an in-memory miss, so a restarted daemon re-serves
+	// everything it ever finished without re-simulating. nil disables
+	// persistence. The server flushes the store's write-behind queue
+	// during Shutdown; closing the store remains the owner's job.
+	Store *diskstore.Store
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
 	// off: the profiling surface stays closed unless explicitly opened).
 	EnablePprof bool
@@ -246,7 +259,7 @@ func (j *job) view() jobView {
 		Created:   j.created.UTC().Format(time.RFC3339Nano),
 		EventsURL: "/v1/jobs/" + j.id + "/events",
 	}
-	v.CellsTotal, v.CellsDone, v.CellsFromCache = j.cells.counts()
+	v.CellsTotal, v.CellsDone, v.CellsFromCache, v.CellsFromDisk = j.cells.counts()
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)
 	}
@@ -283,6 +296,7 @@ type jobView struct {
 	CellsTotal     int    `json:"cells_total"`
 	CellsDone      int    `json:"cells_done"`
 	CellsFromCache int    `json:"cells_from_cache"`
+	CellsFromDisk  int    `json:"cells_from_disk"`
 	ResultURL      string `json:"result_url,omitempty"`
 	EventsURL      string `json:"events_url,omitempty"`
 }
@@ -300,6 +314,9 @@ type Server struct {
 	// cellCache holds per-cell partial results, keyed by cell content
 	// address.
 	cellCache *resultcache.Cache
+	// store is the disk tier under both caches; nil when persistence is
+	// disabled.
+	store *diskstore.Store
 
 	mu       sync.Mutex
 	draining bool
@@ -332,6 +349,7 @@ func New(cfg Config) *Server {
 		cache:      resultcache.New(cfg.CacheBytes),
 		useCells:   useCells,
 		cellCache:  cellCache,
+		store:      cfg.Store,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
@@ -436,6 +454,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		writeBody(w, body, "hit", key)
 		return
+	}
+	// Second tier: the persistent store. A hit is CRC-verified bytes an
+	// earlier process paid for; promote it into the LRU tier (with its
+	// cost metadata) and serve it — indistinguishable from a fresh run.
+	if s.store != nil {
+		storeStart := time.Now()
+		diskBody, costNs, ok := s.store.Get(key)
+		span(&s.metrics.spanStoreLookup, time.Since(storeStart))
+		if ok {
+			s.cache.PutCost(key, diskBody, costNs)
+			writeBody(w, diskBody, "disk", key)
+			return
+		}
 	}
 
 	admitStart := time.Now()
@@ -711,7 +742,14 @@ func (s *Server) worker() {
 		case err != nil:
 			s.finish(j, statusFailed, nil, err.Error())
 		default:
-			s.cache.Put(j.key, body)
+			// The campaign's wall time is its cost metadata: both the
+			// memory tier's Stats and the disk tier's bytes-per-simulated-
+			// second eviction weigh the body by what it took to build. The
+			// store Put is write-behind and never blocks this worker.
+			s.cache.PutCost(j.key, body, uint64(elapsed))
+			if s.store != nil {
+				s.store.Put(j.key, body, uint64(elapsed))
+			}
 			s.metrics.observe(j.kind, elapsed)
 			s.metrics.foldSim(j.stats)
 			s.finish(j, statusDone, body, "")
@@ -951,12 +989,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-drained:
 		stop()
-		return nil
+		// The drain contract includes durability: every result a finished
+		// job acknowledged into the store's write-behind queue is flushed
+		// and the active segment fsynced before Shutdown returns, so a
+		// SIGTERM never loses completed work.
+		return s.syncStore(ctx)
 	case <-ctx.Done():
 		stop()
 		<-drained
+		s.syncStore(ctx) // best effort under the expired deadline
 		return ctx.Err()
 	}
+}
+
+// syncStore flushes the persistent tier's write-behind queue, bounded by
+// ctx. A nil store (persistence disabled) is a no-op.
+func (s *Server) syncStore(ctx context.Context) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Sync(ctx)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -968,8 +1020,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeBody serves a campaign result body. source labels how it was
-// obtained: "hit" (result cache), "miss" (freshly simulated), "job"
-// (polled result endpoint).
+// obtained: "hit" (result cache), "disk" (persistent store, promoted on
+// the way out), "miss" (freshly simulated), "job" (polled result
+// endpoint).
 func writeBody(w http.ResponseWriter, body []byte, source, key string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", source)

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke analytic-smoke persist-smoke ci
+.PHONY: all build vet test quick race bench-smoke bench-cache bench-compare bench-json bench-check serve-smoke obs-smoke cell-smoke analytic-smoke persist-smoke fleet-smoke ci
 
 all: build
 
@@ -103,6 +103,14 @@ cell-smoke:
 persist-smoke:
 	$(GO) test -race -count=1 -run 'TestPersistSmoke' ./cmd/affinityd/
 
+# The fleet gate: builds the real binary, boots one coordinator and
+# three workers (readiness by polling /v1/workers, never by sleeping),
+# kill -9s a worker mid-campaign, and requires the coordinator to absorb
+# the loss — at least one retried or hedged cell in affinityd_fleet_* —
+# with a final body byte-identical to a cold single-process run.
+fleet-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetSmoke' ./cmd/affinityd/
+
 # The analytic-engine gate: re-runs the differential calibration grid on
 # both engines and fails if any golden-promoted cell drifted past the 10%
 # tolerance (analyticcalib check mode), then pins the engine-tier cache
@@ -113,4 +121,4 @@ analytic-smoke:
 	$(GO) run ./cmd/analyticcalib -check
 	$(GO) test -count=1 -run 'TestEngine|TestAnalytic|TestAuto|TestCalibration' ./internal/experiments/
 
-ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke persist-smoke analytic-smoke
+ci: vet build race bench-smoke bench-cache bench-check serve-smoke obs-smoke cell-smoke persist-smoke fleet-smoke analytic-smoke

@@ -13,6 +13,7 @@
 //	affinityd [-addr HOST:PORT] [-queue N] [-jobs N] [-cache-mb MB]
 //	          [-retry-after SEC] [-job-ttl-sec SEC] [-max-jobs N]
 //	          [-store-dir DIR] [-store-budget MB] [-store-sync]
+//	          [-coordinator] [-join URL] [-advertise URL] [-hedge-ms N]
 //	          [-workers N] [-seed N] [-cpuprofile FILE] [-memprofile FILE]
 //	          [-stats] [-pprof]
 //
@@ -33,6 +34,18 @@
 //	             evicts cheapest-to-recompute entries first (0 = no limit)
 //	-store-sync  fsync each write-behind flush batch (safer on power loss,
 //	             slower; without it a crash can lose the last batch)
+//	-coordinator run as a fleet coordinator: campaign cells that miss
+//	             both cache tiers are dispatched to workers that joined
+//	             via -join, with retry, hedged re-dispatch, and local
+//	             fallback (see internal/fleet and GET /v1/workers)
+//	-join        run as a fleet worker: register with (and heartbeat)
+//	             the coordinator at this base URL and execute cells it
+//	             dispatches; mutually exclusive with -coordinator
+//	-advertise   base URL workers advertise to the coordinator (default:
+//	             derived from the bound listener address — set it when
+//	             behind NAT or a non-loopback interface)
+//	-hedge-ms    coordinator: milliseconds before a straggling cell is
+//	             re-dispatched to another worker (default 1000)
 //	-workers     per-campaign simulation-cell concurrency applied when a
 //	             request omits params.workers (0 = all CPUs)
 //	-seed        default root seed for requests that omit params.seed
@@ -67,6 +80,8 @@ import (
 
 	"repro/internal/cliflags"
 	"repro/internal/diskstore"
+	"repro/internal/fleet"
+	"repro/internal/resultcache"
 	"repro/internal/service"
 	"repro/internal/version"
 )
@@ -92,8 +107,15 @@ func run() (err error) {
 	storeDir := fs.String("store-dir", "", "persistent result-store directory (empty = no persistence)")
 	storeBudget := fs.Int64("store-budget", 0, "persistent-store disk budget (MiB, 0 = no limit)")
 	storeSync := fs.Bool("store-sync", false, "fsync each persistent-store flush batch")
+	coordinator := fs.Bool("coordinator", false, "run as fleet coordinator (dispatch cells to joined workers)")
+	join := fs.String("join", "", "run as fleet worker: coordinator base URL to register with")
+	advertise := fs.String("advertise", "", "base URL to advertise to the coordinator (default: bound address)")
+	hedgeMS := fs.Int("hedge-ms", 1000, "coordinator: ms before a straggling cell is re-dispatched")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 	fs.Parse(os.Args[1:])
+	if *coordinator && *join != "" {
+		return fmt.Errorf("-coordinator and -join are mutually exclusive (a worker serves its own /v1 traffic but does not dispatch)")
+	}
 
 	stopProf, err := common.StartProfiling()
 	if err != nil {
@@ -138,6 +160,35 @@ func run() (err error) {
 			*storeDir, st.Entries, st.Segments, st.DiskBytes)
 		cfg.Store = store
 	}
+	// Fleet roles. Both build the cell cache explicitly so the fleet
+	// side and the service share one instance: the coordinator's peer
+	// cache fill must serve exactly the tiers the service reads, and a
+	// worker's execute path must reuse what its own /v1 traffic cached.
+	var fleetWorker *fleet.Worker
+	switch {
+	case *coordinator:
+		cellCache := resultcache.New(cfg.CacheBytes)
+		cfg.CellCache = cellCache
+		cfg.Fleet = fleet.NewCoordinator(fleet.Config{
+			Cache:      cellCache,
+			Store:      cfg.Store,
+			HedgeDelay: time.Duration(*hedgeMS) * time.Millisecond,
+		})
+		fmt.Printf("affinityd: coordinator mode (hedge after %dms; workers join at %s)\n", *hedgeMS, fleet.PathRegister)
+	case *join != "":
+		cellCache := resultcache.New(cfg.CacheBytes)
+		cfg.CellCache = cellCache
+		fleetWorker = fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: *join,
+			Capacity:    common.Workers,
+			Cache:       cellCache,
+			Store:       cfg.Store,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "affinityd: "+format+"\n", args...)
+			},
+		})
+		cfg.FleetWorker = fleetWorker
+	}
 	srv := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -147,6 +198,18 @@ func run() (err error) {
 	// The smoke gate and scripts parse this line for the bound port.
 	fmt.Printf("affinityd: listening on http://%s (engine %s, %s)\n",
 		ln.Addr(), version.Engine, version.GitSHA())
+	if fleetWorker != nil {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + ln.Addr().String()
+		}
+		// Start registers synchronously, so the "joined" line means the
+		// coordinator can already dispatch here (or the first attempt
+		// failed and the heartbeat loop is retrying).
+		fleetWorker.Start(adv)
+		defer fleetWorker.Stop()
+		fmt.Printf("affinityd: joined fleet at %s (advertising %s)\n", *join, adv)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

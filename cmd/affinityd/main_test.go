@@ -590,3 +590,243 @@ func TestCellSmoke(t *testing.T) {
 			hits, misses, execs, totalCells)
 	}
 }
+
+// TestFleetSmoke is the `make fleet-smoke` gate, the distributed story
+// against real binaries:
+//
+//  1. Boot one coordinator and three workers (random ports, workers
+//     joining via -join), waiting on /v1/workers for all three to
+//     register — readiness is polled, never slept for.
+//  2. Submit a table1 campaign and kill -9 one worker mid-grid. The
+//     coordinator must absorb the loss — retry or hedge the orphaned
+//     cells elsewhere (visible in affinityd_fleet_*) — and finish.
+//  3. The final body must be byte-identical to a cold single-process
+//     run, with the coordinator's misses == executions invariant intact
+//     (duplicates from hedging never double-fold).
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build and campaign runs in -short mode")
+	}
+	const totalCells = 9 // table1: 3 Qs x 3 measured applications
+	req := `{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"reps":1,"workers":3}}`
+	bin := filepath.Join(t.TempDir(), "affinityd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	boot := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 && strings.Contains(line, "listening on") {
+				go func() {
+					for sc.Scan() {
+					} // drain the pipe so the child never blocks on stdout
+				}()
+				return cmd, strings.Fields(line[i:])[0]
+			}
+		}
+		t.Fatal("daemon never advertised its address")
+		return nil, ""
+	}
+	get := func(base, path string) []byte {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	metric := func(base, name string) int {
+		t.Helper()
+		mb := get(base, "/metrics")
+		for _, line := range strings.Split(string(mb), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 && fields[0] == name {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil {
+					t.Fatalf("%s: bad value %q", name, fields[1])
+				}
+				return v
+			}
+		}
+		t.Fatalf("metrics missing series %s:\n%s", name, mb)
+		return 0
+	}
+
+	// Cold single-process reference body.
+	coldSrv := service.New(service.Config{QueueDepth: 4, JobWorkers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		coldSrv.Shutdown(ctx)
+	}()
+	coldLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldHS := &http.Server{Handler: coldSrv.Handler()}
+	go coldHS.Serve(coldLn)
+	defer coldHS.Close()
+	coldResp, err := http.Post("http://"+coldLn.Addr().String()+"/v1/campaigns", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBody, _ := io.ReadAll(coldResp.Body)
+	coldResp.Body.Close()
+	if coldResp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run: %d %s", coldResp.StatusCode, coldBody)
+	}
+
+	// Fleet: one coordinator, three workers. A short hedge delay makes
+	// any straggler (including the one we orphan by SIGKILL) re-dispatch
+	// quickly.
+	coord, coordBase := boot("-coordinator", "-hedge-ms", "250", "-jobs", "1", "-queue", "4")
+	defer coord.Process.Kill()
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		w, _ := boot("-join", coordBase)
+		defer w.Process.Kill()
+		workers = append(workers, w)
+	}
+
+	// Readiness: poll the registry until all three workers are live.
+	type workersView struct {
+		Coordinator bool `json:"coordinator"`
+		Workers     []struct {
+			URL string `json:"url"`
+		} `json:"workers"`
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var wv workersView
+	for {
+		if err := json.Unmarshal(get(coordBase, "/v1/workers"), &wv); err != nil {
+			t.Fatal(err)
+		}
+		if len(wv.Workers) == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached 3 workers: %+v", wv)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !wv.Coordinator {
+		t.Fatalf("/v1/workers does not report coordinator mode: %+v", wv)
+	}
+
+	// Submit async, then kill -9 a worker as soon as the grid is moving.
+	ar, err := http.Post(coordBase+"/v1/campaigns", "application/json",
+		strings.NewReader(strings.TrimSuffix(req, "}")+`,"async":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if ar.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", ar.StatusCode, ab)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(ab, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	jobView := func() (status string, done int) {
+		t.Helper()
+		var v struct {
+			Status    string `json:"status"`
+			CellsDone int    `json:"cells_done"`
+		}
+		if err := json.Unmarshal(get(coordBase, "/v1/jobs/"+accepted.ID), &v); err != nil {
+			t.Fatal(err)
+		}
+		return v.Status, v.CellsDone
+	}
+	for {
+		if _, done := jobView(); done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no cell completed before deadline")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := workers[0].Process.Kill(); err != nil { // SIGKILL: no goodbye
+		t.Fatal(err)
+	}
+	workers[0].Wait()
+
+	// The campaign must still finish.
+	for {
+		status, _ := jobView()
+		if status == "done" {
+			break
+		}
+		if status != "running" && status != "queued" {
+			t.Fatalf("job reached %q, want done", status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign did not finish after worker kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fleetBody := get(coordBase, "/v1/jobs/"+accepted.ID+"/result")
+	if !bytes.Equal(fleetBody, coldBody) {
+		t.Errorf("fleet body differs from single-process run:\n%.200s\n%.200s", fleetBody, coldBody)
+	}
+
+	// The loss was absorbed remotely: cells ran on workers, the orphaned
+	// dispatch retried or hedged, and the dead worker left the registry.
+	remote := metric(coordBase, "affinityd_fleet_remote_cells_total")
+	retries := metric(coordBase, "affinityd_fleet_retries_total")
+	hedges := metric(coordBase, "affinityd_fleet_hedges_total")
+	if remote < 1 {
+		t.Errorf("no cells executed remotely (remote=%d)", remote)
+	}
+	if retries+hedges < 1 {
+		t.Errorf("worker kill produced no retry or hedge (retries=%d hedges=%d)", retries, hedges)
+	}
+	if live := metric(coordBase, "affinityd_fleet_workers"); live != 2 {
+		t.Errorf("affinityd_fleet_workers = %d after kill, want 2", live)
+	}
+	// Placement-independent accounting: every miss resolved to exactly
+	// one execution, however many dispatch attempts it took.
+	misses := metric(coordBase, "affinityd_cell_misses_total")
+	execs := metric(coordBase, "affinityd_cell_executions_total")
+	if misses != totalCells || execs != totalCells {
+		t.Errorf("cell accounting: misses=%d executions=%d, want %d each", misses, execs, totalCells)
+	}
+
+	// The job view attributes remote cells to worker URLs.
+	var attributed struct {
+		CellsRemote int            `json:"cells_remote"`
+		Workers     map[string]int `json:"workers"`
+	}
+	if err := json.Unmarshal(get(coordBase, "/v1/jobs/"+accepted.ID), &attributed); err != nil {
+		t.Fatal(err)
+	}
+	if attributed.CellsRemote < 1 || len(attributed.Workers) == 0 {
+		t.Errorf("job view missing worker attribution: %+v", attributed)
+	}
+
+	coord.Process.Signal(syscall.SIGTERM)
+	coord.Wait()
+}

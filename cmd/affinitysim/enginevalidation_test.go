@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEngineFlagValidation is the cross-CLI table test for -engine: every
+// binary that registers the flag must reject a tier its campaign kind
+// cannot run — analytic/auto on the non-grid kinds, unknown names
+// anywhere — with the service's "params.engine" field-path error, before
+// any simulation starts. One positive case per grid CLI pins that valid
+// tiers still parse.
+func TestEngineFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds four binaries in -short mode")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, cli := range []string{"affinitysim", "measurepenalty", "policycompare", "futuremodel"} {
+		bin := filepath.Join(dir, cli)
+		build := exec.Command("go", "build", "-o", bin, "../"+cli)
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", cli, err, out)
+		}
+		bins[cli] = bin
+	}
+
+	cases := []struct {
+		name    string
+		cli     string
+		args    []string
+		wantErr string // "" = must succeed
+	}{
+		{"affinitysim measure rejects analytic", "affinitysim",
+			[]string{"measure", "-engine", "analytic"}, "params.engine"},
+		{"affinitysim characterize rejects auto", "affinitysim",
+			[]string{"characterize", "-engine", "auto"}, "params.engine"},
+		{"affinitysim extras rejects analytic", "affinitysim",
+			[]string{"extras", "-engine", "analytic"}, "params.engine"},
+		{"affinitysim trace rejects analytic", "affinitysim",
+			[]string{"trace", "-engine", "analytic"}, "params.engine"},
+		{"affinitysim compare rejects unknown tier", "affinitysim",
+			[]string{"compare", "-engine", "bogus"}, "params.engine"},
+		{"affinitysim compare accepts analytic", "affinitysim",
+			[]string{"compare", "-engine", "analytic", "-fast", "-mix", "5", "-reps", "1"}, ""},
+		{"measurepenalty rejects analytic", "measurepenalty",
+			[]string{"-engine", "analytic"}, "params.engine"},
+		{"measurepenalty rejects unknown tier", "measurepenalty",
+			[]string{"-engine", "bogus"}, "params.engine"},
+		{"policycompare rejects unknown tier", "policycompare",
+			[]string{"-engine", "bogus"}, "params.engine"},
+		{"policycompare accepts analytic", "policycompare",
+			[]string{"-engine", "analytic", "-fast", "-mix", "5", "-reps", "1"}, ""},
+		{"futuremodel rejects unknown tier", "futuremodel",
+			[]string{"-engine", "bogus"}, "params.engine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bins[tc.cli], tc.args...).CombinedOutput()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("%s %v failed: %v\n%s", tc.cli, tc.args, err, out)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("%s %v succeeded, want failure mentioning %q", tc.cli, tc.args, tc.wantErr)
+			}
+			if !strings.Contains(string(out), tc.wantErr) {
+				t.Fatalf("%s %v error output %q missing %q", tc.cli, tc.args, out, tc.wantErr)
+			}
+		})
+	}
+}

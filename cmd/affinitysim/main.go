@@ -90,6 +90,25 @@ func parse(args []string) (string, *cli, error) {
 	if err := fs.Parse(args[1:]); err != nil {
 		return "", nil, err
 	}
+	// The engine tier only exists on the grid-shaped subcommands (compare,
+	// future, and all, which runs both); elsewhere -engine analytic/auto
+	// would be silently ignored, so reject it up front with the same
+	// field-path error the service returns for the kind the subcommand
+	// drives. Grid subcommands still validate the tier name itself.
+	engineKind := map[string]string{
+		"characterize": "characterize",
+		"measure":      "table1",
+		"trace":        "trace",
+		"extras":       "relatedwork",
+		"compare":      "compare",
+		"future":       "future",
+		"all":          "future",
+	}
+	if k, ok := engineKind[cmd]; ok {
+		if err := experiments.ValidateEngine(k, c.common.Engine); err != nil {
+			return "", nil, err
+		}
+	}
 	if *fast {
 		c.opts = experiments.FastOptions()
 	}

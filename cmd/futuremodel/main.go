@@ -37,6 +37,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit sweep data as CSV instead of charts")
 	simulate := flag.Bool("simulate", false, "also simulate the scaled machines directly")
 	flag.Parse()
+	// The future sweep takes any tier, but an unknown -engine value must
+	// fail here, not be silently folded to the simulator downstream.
+	if err := experiments.ValidateEngine("future", common.Engine); err != nil {
+		fmt.Fprintln(os.Stderr, "futuremodel:", err)
+		os.Exit(1)
+	}
 
 	opts := experiments.DefaultOptions()
 	if *fast {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	measurepenalty [-budget SEC] [-seed N] [-csv] [-detail] [-workers N]
+//	measurepenalty [-budget SEC] [-seed N] [-csv] [-detail] [-workers N] [-engine sim]
 //
 // -detail additionally prints the underlying run data (response times,
 // switch counts, miss counts) for each regime.
@@ -26,10 +26,19 @@ import (
 
 func main() {
 	common := cliflags.Register(flag.CommandLine)
+	common.RegisterEngine(flag.CommandLine)
 	budget := flag.Float64("budget", 20, "per-run compute budget (seconds)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	detail := flag.Bool("detail", false, "print per-regime run details")
 	flag.Parse()
+	// Table 1 has no simulation grid: -engine exists for CLI uniformity
+	// but only the simulator tier is meaningful, and asking for another
+	// must fail fast with the service's field-path error rather than be
+	// silently ignored.
+	if err := experiments.ValidateEngine("table1", common.Engine); err != nil {
+		fmt.Fprintln(os.Stderr, "measurepenalty:", err)
+		os.Exit(1)
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.MeasureBudget = simtime.Seconds(*budget)

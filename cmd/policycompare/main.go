@@ -30,6 +30,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	timeshare := flag.Bool("timeshare", false, "include the time-sharing baseline")
 	flag.Parse()
+	// The compare grid takes any tier, but an unknown -engine value must
+	// fail here, not be silently folded to the simulator downstream.
+	if err := experiments.ValidateEngine("compare", common.Engine); err != nil {
+		fmt.Fprintln(os.Stderr, "policycompare:", err)
+		os.Exit(1)
+	}
 
 	opts := experiments.DefaultOptions()
 	if *fast {

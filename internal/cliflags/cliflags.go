@@ -50,10 +50,12 @@ func Register(fs *flag.FlagSet) *Common {
 	return c
 }
 
-// RegisterEngine installs the -engine flag on fs. Only the binaries whose
-// campaigns have a simulation grid (policycompare, futuremodel,
-// affinitysim) call it, so the flag never appears where it would be
-// silently ignored.
+// RegisterEngine installs the -engine flag on fs. Binaries that call it
+// must validate the parsed value against the campaign kind they drive
+// (experiments.ValidateEngine) before running: the flag is uniform
+// across the CLIs, but only the grid-shaped kinds accept a tier other
+// than the simulator, and a tier that would be ignored is an error, not
+// a no-op.
 func (c *Common) RegisterEngine(fs *flag.FlagSet) {
 	fs.StringVar(&c.Engine, "engine", experiments.EngineSim,
 		"per-cell execution tier for grid-shaped campaigns: sim (discrete-event simulator), "+

@@ -79,22 +79,22 @@ func (o Options) withDefaults() Options {
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Hits          uint64 // Gets served from a verified frame
-	Misses        uint64 // Gets that found no (valid) entry
-	Puts          uint64 // Puts accepted onto the write-behind queue
-	Dropped       uint64 // Puts dropped because the queue was full
-	FlushedFrames uint64 // frames durably appended by the flusher
-	Evictions     uint64 // entries evicted by the byte budget
-	CorruptFrames uint64 // frames rejected by CRC/header checks (scan or Get)
-	DupFrames     uint64 // duplicate-key frames skipped (scan or flush)
+	Hits           uint64 // Gets served from a verified frame
+	Misses         uint64 // Gets that found no (valid) entry
+	Puts           uint64 // Puts accepted onto the write-behind queue
+	Dropped        uint64 // Puts dropped because the queue was full
+	FlushedFrames  uint64 // frames durably appended by the flusher
+	Evictions      uint64 // entries evicted by the byte budget
+	CorruptFrames  uint64 // frames rejected by CRC/header checks (scan or Get)
+	DupFrames      uint64 // duplicate-key frames skipped (scan or flush)
 	TruncatedBytes uint64 // bytes cut from segment tails by the scan
-	Entries       int    // live entries in the index
-	Segments      int    // segment files on disk
-	DiskBytes     int64  // total segment bytes on disk (live + dead)
-	LiveBytes     int64  // bytes of frames still reachable via the index
-	CostNs        uint64 // total exec-nanos of live entries
-	Budget        int64  // configured disk budget
-	QueueDepth    int    // write-behind queue occupancy right now
+	Entries        int    // live entries in the index
+	Segments       int    // segment files on disk
+	DiskBytes      int64  // total segment bytes on disk (live + dead)
+	LiveBytes      int64  // bytes of frames still reachable via the index
+	CostNs         uint64 // total exec-nanos of live entries
+	Budget         int64  // configured disk budget
+	QueueDepth     int    // write-behind queue occupancy right now
 }
 
 // segment is one on-disk file of frames.
@@ -137,7 +137,14 @@ type Store struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 
-	closed atomic.Bool
+	// closeMu orders Put/Sync enqueues against Close: writers hold the
+	// read side across the closed-check and the channel send, Close holds
+	// the write side while flipping closed. Without it a Put could pass
+	// the check, lose the CPU while Close signals the flusher, and land
+	// its request in the queue after the final drain — an accepted
+	// (true-returning) Put that never reaches disk.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
 
 	mu        sync.Mutex
 	index     map[string]entryRef
@@ -347,6 +354,8 @@ func (s *Store) Put(key string, body []byte, execNs uint64) bool {
 		s.dropped.Add(1)
 		return false
 	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
 	if s.closed.Load() {
 		s.dropped.Add(1)
 		return false
@@ -365,15 +374,20 @@ func (s *Store) Put(key string, body []byte, execNs uint64) bool {
 // segment, bounded by ctx. A closed store is already flushed and returns
 // nil.
 func (s *Store) Sync(ctx context.Context) error {
+	s.closeMu.RLock()
 	if s.closed.Load() {
+		s.closeMu.RUnlock()
 		return nil
 	}
 	ack := make(chan struct{})
 	select {
 	case s.queue <- putReq{ack: ack}:
+		s.closeMu.RUnlock()
 	case <-s.done:
+		s.closeMu.RUnlock()
 		return nil // Close is draining; it flushes and fsyncs everything
 	case <-ctx.Done():
+		s.closeMu.RUnlock()
 		return fmt.Errorf("diskstore: sync interrupted: %w", ctx.Err())
 	}
 	select {
@@ -390,7 +404,14 @@ func (s *Store) Sync(ctx context.Context) error {
 // the flusher, and closes every segment file. Every Put accepted before
 // Close is on disk when it returns. Safe to call more than once.
 func (s *Store) Close() error {
-	if s.closed.Swap(true) {
+	// Take the write side so every in-flight Put/Sync has either finished
+	// its enqueue or will observe closed — only then signal the flusher,
+	// whose final drain is thereby guaranteed to see every accepted
+	// request.
+	s.closeMu.Lock()
+	already := s.closed.Swap(true)
+	s.closeMu.Unlock()
+	if already {
 		return nil
 	}
 	close(s.done)

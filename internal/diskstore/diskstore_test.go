@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -307,5 +309,59 @@ func TestOversizedPutRejected(t *testing.T) {
 	}
 	if st := s.Stats(); st.Dropped != 3 {
 		t.Errorf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+// TestConcurrentPutCloseNoLostAcks is the regression test for the
+// accepted-but-lost window: a Put could pass the closed check, lose the
+// CPU while Close signalled the flusher, and land its request in the
+// queue after the final drain — acknowledged (true) but never written.
+// Hammer Put from many goroutines racing one Close and require every
+// acknowledged key to be present when the directory is reopened.
+func TestConcurrentPutCloseNoLostAcks(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{EngineVersion: "test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers = 8
+		acked := make([][]string, writers)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					key := fmt.Sprintf("r%d-w%d-k%d", round, w, i)
+					if !s.Put(key, []byte(`{"v":1}`), 1) {
+						return // store closed (or queue full): stop
+					}
+					acked[w] = append(acked[w], key)
+				}
+			}(w)
+		}
+		close(start)
+		// Let the writers race the close decision itself.
+		runtime.Gosched()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		re, err := Open(dir, Options{EngineVersion: "test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range acked {
+			for _, key := range acked[w] {
+				if _, _, ok := re.Get(key); !ok {
+					t.Fatalf("round %d: acknowledged Put %q lost across Close (%+v)", round, key, re.Stats())
+				}
+			}
+		}
+		re.Close()
 	}
 }

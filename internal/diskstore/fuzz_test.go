@@ -15,7 +15,7 @@ import (
 func FuzzFrameDecode(f *testing.F) {
 	valid := appendFrame(nil, &frame{key: "abcd", engine: "3", execNs: 42, body: []byte("hello world")})
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])          // torn tail
+	f.Add(valid[:len(valid)-3])                 // torn tail
 	f.Add(append([]byte{0, 0, 0, 0}, valid...)) // bad magic
 	flipped := bytes.Clone(valid)
 	flipped[headerLen+2] ^= 0x40

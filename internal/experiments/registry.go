@@ -165,16 +165,15 @@ func (c Campaign) Normalize(p CampaignParams) (CampaignParams, error) {
 	}
 	// The engine tier only exists on the kinds with a simulation grid; the
 	// others always simulate and must not silently accept (and then ignore)
-	// a request for the analytic tier.
+	// a request for the analytic tier. ValidateEngine is the single gate —
+	// the CLIs call it too, so a flag and a request body fail identically.
 	engine := o.engine()
+	if err := ValidateEngine(c.Kind, engine); err != nil {
+		return CampaignParams{}, err
+	}
 	switch c.Kind {
 	case "compare", "future", "futuresim":
 		n.Engine = engine
-	default:
-		if engine != EngineSim {
-			return CampaignParams{}, &ParamError{Field: "params.engine",
-				Msg: fmt.Sprintf("kind %q has no simulation grid; engine must be omitted or %q", c.Kind, EngineSim)}
-		}
 	}
 	// Per-kind knobs: only the fields the kind's driver reads survive.
 	switch c.Kind {

@@ -24,9 +24,9 @@ func (e *ParamError) Error() string {
 // set where one exists. The service's GET /v1/campaigns listing exposes
 // these so clients can build requests without reading the Go source.
 type ParamSpec struct {
-	Name    string `json:"name"`
-	Type    string `json:"type"`
-	Default any    `json:"default"`
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Default any      `json:"default"`
 	Min     *float64 `json:"min,omitempty"`
 	Max     *float64 `json:"max,omitempty"`
 	// Allowed enumerates the legal values of a string-valued parameter

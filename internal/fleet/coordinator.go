@@ -1,0 +1,490 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/diskstore"
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+	"repro/internal/version"
+)
+
+// ErrNoWorkers reports that a dispatch found no live worker with spare
+// capacity; the caller executes the cell locally.
+var ErrNoWorkers = errors.New("fleet: no live workers")
+
+// Config parameterizes a Coordinator. Zero values select the defaults
+// noted per field.
+type Config struct {
+	// Cache and Store are the coordinator's cell cache and persistent
+	// tier — the same instances the service reads — so peer cache fill
+	// serves exactly what the coordinator would have served itself.
+	// Either may be nil.
+	Cache *resultcache.Cache
+	Store *diskstore.Store
+	// WorkerTTL expires a worker that has not heartbeated (default 10s).
+	WorkerTTL time.Duration
+	// HedgeDelay is how long a dispatch waits on an attempt before
+	// re-issuing the cell to another worker (default 1s). The first
+	// valid result wins; the straggler's is discarded.
+	HedgeDelay time.Duration
+	// MaxAttempts bounds attempts per cell across retries and hedges
+	// (default 3). Each attempt targets a distinct worker.
+	MaxAttempts int
+	// Backoff is the pause before relaunching after a failed attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// DefaultCapacity is assumed for workers that register without one
+	// (default 4).
+	DefaultCapacity int
+	// Client overrides the HTTP client used for dispatch.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 10 * time.Second
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.DefaultCapacity <= 0 {
+		c.DefaultCapacity = 4
+	}
+	return c
+}
+
+// Metrics are the coordinator's fleet counters, written lock-free on
+// the dispatch path and rendered as affinityd_fleet_* at /metrics.
+type Metrics struct {
+	// Dispatches counts attempts launched (first tries, retries, and
+	// hedges all included).
+	Dispatches obs.Counter
+	// RemoteCells counts Dispatch calls resolved by a worker's result.
+	RemoteCells obs.Counter
+	// Retries counts attempts relaunched after a failed one.
+	Retries obs.Counter
+	// Hedges counts attempts launched by the straggler timer while an
+	// earlier attempt was still in flight.
+	Hedges obs.Counter
+	// HedgeWins counts dispatches whose winning result came from a
+	// retry or hedge rather than the first attempt.
+	HedgeWins obs.Counter
+	// Duplicates counts valid results that arrived after a winner and
+	// were discarded by cell key — the at-least-once overshoot.
+	Duplicates obs.Counter
+	// Failures counts attempts that returned an error (connection
+	// failure, non-200, or an identity mismatch).
+	Failures obs.Counter
+	// Fallbacks counts dispatches that returned no result, sending the
+	// cell to local execution.
+	Fallbacks obs.Counter
+	// Registrations counts new workers; heartbeats of a known worker do
+	// not count.
+	Registrations obs.Counter
+	// Expirations counts workers dropped — heartbeat TTL expiry or a
+	// connection-level dispatch failure (they re-register if alive).
+	Expirations obs.Counter
+	// PeerHits/PeerMisses count peer cache-fill lookups served/missed
+	// from the coordinator's cache tiers.
+	PeerHits   obs.Counter
+	PeerMisses obs.Counter
+	// RTTNs is the round-trip time of successful dispatch attempts.
+	RTTNs obs.Histogram
+}
+
+// workerState is one registered worker; all fields are guarded by
+// Coordinator.mu.
+type workerState struct {
+	url           string
+	capacity      int
+	engineVersion string
+	registered    time.Time
+	lastSeen      time.Time
+	inflight      int
+	dispatched    uint64
+	failures      uint64
+}
+
+// Coordinator owns the fleet's worker registry and cell dispatch.
+type Coordinator struct {
+	cfg    Config
+	client *http.Client
+
+	// Stats holds the dispatch counters; read directly by /metrics.
+	Stats Metrics
+
+	mu      sync.Mutex
+	workers map[string]*workerState // by advertised URL
+	rr      uint64                  // round-robin cursor
+}
+
+// NewCoordinator builds a Coordinator.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = defaultClient()
+	}
+	return &Coordinator{cfg: cfg, client: client, workers: make(map[string]*workerState)}
+}
+
+// RegisterHandlers mounts the coordinator's fleet endpoints.
+func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	mux.HandleFunc("GET "+PathCells+"{key}", c.handleCell)
+}
+
+// handleRegister upserts a worker. Registration doubles as heartbeat.
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeFleetError(w, http.StatusBadRequest, fmt.Sprintf("bad register body: %v", err))
+		return
+	}
+	if req.URL == "" {
+		writeFleetError(w, http.StatusBadRequest, "register: url required")
+		return
+	}
+	if req.EngineVersion != version.Engine {
+		// A skewed worker's cache keys would never match ours; refusing
+		// here keeps wrong-version results out by construction.
+		writeFleetError(w, http.StatusConflict, fmt.Sprintf(
+			"engine version %q does not match coordinator %q", req.EngineVersion, version.Engine))
+		return
+	}
+	capacity := req.Capacity
+	if capacity <= 0 {
+		capacity = c.cfg.DefaultCapacity
+	}
+	now := time.Now()
+	c.mu.Lock()
+	ws := c.workers[req.URL]
+	if ws == nil {
+		ws = &workerState{url: req.URL, registered: now}
+		c.workers[req.URL] = ws
+		c.Stats.Registrations.Inc()
+	}
+	ws.capacity = capacity
+	ws.engineVersion = req.EngineVersion
+	ws.lastSeen = now
+	c.mu.Unlock()
+	writeFleetJSON(w, http.StatusOK, RegisterResponse{OK: true, HeartbeatSec: (c.cfg.WorkerTTL / 3).Seconds()})
+}
+
+// handleCell is peer cache fill: a worker asks for a cell body the
+// fleet may already have paid for, checking the coordinator's memory
+// tier then its disk store.
+func (c *Coordinator) handleCell(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if c.cfg.Cache != nil {
+		if body, costNs, ok := c.cfg.Cache.GetCost(key); ok {
+			c.Stats.PeerHits.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(execCostHeader, strconv.FormatUint(costNs, 10))
+			w.Write(body)
+			return
+		}
+	}
+	if c.cfg.Store != nil {
+		if body, costNs, ok := c.cfg.Store.Get(key); ok {
+			c.Stats.PeerHits.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set(execCostHeader, strconv.FormatUint(costNs, 10))
+			w.Write(body)
+			return
+		}
+	}
+	c.Stats.PeerMisses.Inc()
+	writeFleetError(w, http.StatusNotFound, "cell not cached")
+}
+
+// WorkerView is the /v1/workers wire form of one registered worker.
+type WorkerView struct {
+	URL           string `json:"url"`
+	Capacity      int    `json:"capacity"`
+	EngineVersion string `json:"engine_version"`
+	Registered    string `json:"registered"`
+	LastSeen      string `json:"last_seen"`
+	InFlight      int    `json:"inflight"`
+	Dispatched    uint64 `json:"dispatched"`
+	Failures      uint64 `json:"failures"`
+}
+
+// Workers snapshots the live registry (expired entries pruned), sorted
+// by URL.
+func (c *Coordinator) Workers() []WorkerView {
+	now := time.Now()
+	c.mu.Lock()
+	c.expireLocked(now)
+	out := make([]WorkerView, 0, len(c.workers))
+	for _, ws := range c.workers {
+		out = append(out, WorkerView{
+			URL:           ws.url,
+			Capacity:      ws.capacity,
+			EngineVersion: ws.engineVersion,
+			Registered:    ws.registered.UTC().Format(time.RFC3339Nano),
+			LastSeen:      ws.lastSeen.UTC().Format(time.RFC3339Nano),
+			InFlight:      ws.inflight,
+			Dispatched:    ws.dispatched,
+			Failures:      ws.failures,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].URL < out[k].URL })
+	return out
+}
+
+// LiveWorkers returns the number of unexpired workers (the
+// affinityd_fleet_workers gauge).
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	return len(c.workers)
+}
+
+// expireLocked drops workers whose heartbeats stopped. Callers hold
+// c.mu.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for url, ws := range c.workers {
+		if now.Sub(ws.lastSeen) > c.cfg.WorkerTTL {
+			delete(c.workers, url)
+			c.Stats.Expirations.Inc()
+		}
+	}
+}
+
+// pick reserves one unit of capacity on a live worker not yet tried for
+// this cell, round-robin so a grid spreads evenly. Returns "" when no
+// worker qualifies.
+func (c *Coordinator) pick(tried map[string]bool) string {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	urls := make([]string, 0, len(c.workers))
+	for url, ws := range c.workers {
+		if tried[url] || ws.inflight >= ws.capacity {
+			continue
+		}
+		urls = append(urls, url)
+	}
+	if len(urls) == 0 {
+		return ""
+	}
+	sort.Strings(urls)
+	url := urls[c.rr%uint64(len(urls))]
+	c.rr++
+	ws := c.workers[url]
+	ws.inflight++
+	ws.dispatched++
+	return url
+}
+
+// release returns a worker's capacity unit after an attempt, recording
+// the outcome. A connection-level failure drops the worker entirely —
+// it re-registers on its next heartbeat if it is actually alive — so a
+// killed worker stops receiving dispatches after one failed attempt
+// instead of lingering until TTL expiry.
+func (c *Coordinator) release(url string, failed, drop bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[url]
+	if ws == nil {
+		return
+	}
+	ws.inflight--
+	if failed {
+		ws.failures++
+	} else {
+		ws.lastSeen = time.Now() // a served cell is as good as a heartbeat
+	}
+	if drop {
+		delete(c.workers, url)
+		c.Stats.Expirations.Inc()
+	}
+}
+
+// attemptOutcome is one dispatch attempt's result.
+type attemptOutcome struct {
+	resp    *ExecuteResponse
+	err     error
+	attempt int // 1-based launch order
+}
+
+// Dispatch executes one cell on the fleet: bounded retry with backoff
+// on failure, hedged re-dispatch of stragglers after HedgeDelay, first
+// valid result wins. Exactly one response is ever returned per call —
+// late duplicates are drained and counted, never delivered — so the
+// caller's one-result-per-miss accounting (misses == execution
+// attempts) holds no matter how the race resolves. A non-nil error
+// (ErrNoWorkers, every attempt failed, or ctx cancelled) means the
+// caller should execute the cell locally.
+func (c *Coordinator) Dispatch(ctx context.Context, req ExecuteRequest) (*ExecuteResponse, error) {
+	tried := make(map[string]bool, c.cfg.MaxAttempts)
+	ch := make(chan attemptOutcome, c.cfg.MaxAttempts)
+	launched := 0
+	launch := func() bool {
+		if launched >= c.cfg.MaxAttempts {
+			return false
+		}
+		url := c.pick(tried)
+		if url == "" {
+			return false
+		}
+		tried[url] = true
+		launched++
+		attempt := launched
+		c.Stats.Dispatches.Inc()
+		go func() {
+			resp, err := c.execute(ctx, url, req)
+			ch <- attemptOutcome{resp: resp, err: err, attempt: attempt}
+		}()
+		return true
+	}
+	if !launch() {
+		c.Stats.Fallbacks.Inc()
+		return nil, ErrNoWorkers
+	}
+	hedge := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedge.Stop()
+	outstanding := 1
+	var lastErr error
+	for {
+		select {
+		case out := <-ch:
+			outstanding--
+			if out.err == nil {
+				c.Stats.RemoteCells.Inc()
+				if out.attempt > 1 {
+					c.Stats.HedgeWins.Inc()
+				}
+				if outstanding > 0 {
+					go c.drainLate(ch, outstanding)
+				}
+				return out.resp, nil
+			}
+			c.Stats.Failures.Inc()
+			lastErr = out.err
+			if launched < c.cfg.MaxAttempts {
+				// Brief pause so a flapping fleet doesn't spin; the
+				// context still cancels promptly.
+				select {
+				case <-time.After(c.cfg.Backoff):
+				case <-ctx.Done():
+					c.abandon(ch, outstanding)
+					return nil, ctx.Err()
+				}
+				if launch() {
+					c.Stats.Retries.Inc()
+					outstanding++
+					continue
+				}
+			}
+			if outstanding == 0 {
+				c.Stats.Fallbacks.Inc()
+				return nil, lastErr
+			}
+		case <-hedge.C:
+			// The attempt is straggling: re-issue the cell elsewhere and
+			// race the two. Determinism makes either answer correct.
+			if launch() {
+				c.Stats.Hedges.Inc()
+				outstanding++
+			}
+		case <-ctx.Done():
+			c.abandon(ch, outstanding)
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// abandon drains outstanding attempts in the background after the
+// dispatch stops caring, counting the fallback.
+func (c *Coordinator) abandon(ch chan attemptOutcome, outstanding int) {
+	c.Stats.Fallbacks.Inc()
+	if outstanding > 0 {
+		go c.drainLate(ch, outstanding)
+	}
+}
+
+// drainLate consumes attempts that finished after a winner (or after
+// abandonment): valid duplicates are counted and discarded — never
+// folded into stats or a merge — and late failures are counted as
+// failures.
+func (c *Coordinator) drainLate(ch chan attemptOutcome, n int) {
+	for i := 0; i < n; i++ {
+		out := <-ch
+		if out.err == nil {
+			c.Stats.Duplicates.Inc()
+		} else {
+			c.Stats.Failures.Inc()
+		}
+	}
+}
+
+// execute runs one HTTP attempt against one worker and validates the
+// response's identity: the returned key and cell id must echo the
+// request, and the body must be non-empty JSON. Anything else is an
+// attempt failure, never a result.
+func (c *Coordinator) execute(ctx context.Context, workerURL string, req ExecuteRequest) (*ExecuteResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		c.release(workerURL, true, false)
+		return nil, err
+	}
+	start := time.Now()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, workerURL+PathExecute, bytes.NewReader(payload))
+	if err != nil {
+		c.release(workerURL, true, false)
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		// Connection-level failure: the worker is unreachable (killed,
+		// crashed, partitioned). Drop it now rather than redispatching
+		// into the hole until TTL expiry.
+		c.release(workerURL, true, true)
+		return nil, fmt.Errorf("fleet: worker %s: %w", workerURL, err)
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		c.release(workerURL, true, true)
+		return nil, fmt.Errorf("fleet: worker %s: read: %w", workerURL, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		c.release(workerURL, true, false)
+		return nil, fmt.Errorf("fleet: worker %s: status %d: %.200s", workerURL, hresp.StatusCode, body)
+	}
+	var resp ExecuteResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		c.release(workerURL, true, false)
+		return nil, fmt.Errorf("fleet: worker %s: bad response: %w", workerURL, err)
+	}
+	if resp.Key != req.Key || resp.CellID != req.CellID || len(resp.Body) == 0 || !json.Valid(resp.Body) {
+		c.release(workerURL, true, false)
+		return nil, fmt.Errorf("fleet: worker %s: identity mismatch (cell %q key %.16q)", workerURL, resp.CellID, resp.Key)
+	}
+	c.release(workerURL, false, false)
+	c.Stats.RTTNs.Observe(uint64(time.Since(start)))
+	return &resp, nil
+}

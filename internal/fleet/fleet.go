@@ -1,0 +1,152 @@
+// Package fleet turns a set of affinityd processes into one logical
+// campaign executor. One daemon runs as the coordinator: it owns the
+// job queue, the two-tier result cache (memory LRU + disk store), and
+// the deterministic Merge. Any number of daemons join as workers: they
+// register with the coordinator, heartbeat, and execute individual
+// campaign cells on demand.
+//
+// The unit of distribution is the cell (internal/experiments.Cells):
+// content-addressed, individually cacheable, and deterministic, so a
+// cell can execute on any worker — or twice on two workers — and the
+// bytes are identical. That property carries the whole design:
+//
+//   - Dispatch is at-least-once. A cell may be retried after a worker
+//     failure and hedged when a worker straggles; the first valid
+//     result wins and duplicates are discarded by cell key. Because
+//     cells are deterministic, duplicates are byte-identical and
+//     discarding is safe.
+//   - The wire format is a plan coordinate, not code: the coordinator
+//     sends (kind, normalized params, cell index, cell id, cache key)
+//     and the worker recomputes the plan locally. Workers verify that
+//     their recomputed cell id and cache key match the request, and
+//     registration rejects engine-version skew, so a mixed-version
+//     fleet can never silently serve wrong bytes.
+//   - Results flow back into the coordinator's caches, so the fleet
+//     shares one logical cache. Peer cache fill closes the loop: a
+//     worker asks the coordinator's store (GET /fleet/v1/cells/{key})
+//     before executing, so work any fleet member ever finished is
+//     never repeated anywhere.
+//
+// Failure model: workers are soft state. They expire when heartbeats
+// stop, are dropped immediately on connection failure, and re-register
+// themselves; the coordinator falls back to local execution when no
+// worker can serve a cell, so a fleet of zero workers degrades to
+// exactly the single-process daemon.
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Wire paths, mounted on both daemons' ServeMux by RegisterHandlers.
+const (
+	// PathRegister is the worker registration/heartbeat endpoint
+	// (coordinator side).
+	PathRegister = "/fleet/v1/register"
+	// PathExecute is the cell execution endpoint (worker side).
+	PathExecute = "/fleet/v1/execute"
+	// PathCells is the peer cache-fill prefix (coordinator side);
+	// GET PathCells + key returns the cached cell body or 404.
+	PathCells = "/fleet/v1/cells/"
+)
+
+// RegisterRequest is a worker's registration POST body; re-POSTed every
+// heartbeat interval (registration and heartbeat are the same message,
+// so a coordinator restart loses no state it cannot rebuild within one
+// interval).
+type RegisterRequest struct {
+	// URL is the worker's advertised base URL ("http://host:port").
+	// It is the worker's identity: re-registering the same URL updates
+	// the existing entry.
+	URL string `json:"url"`
+	// Capacity bounds the cells the coordinator dispatches to this
+	// worker concurrently (<=0 selects the coordinator's default).
+	Capacity int `json:"capacity,omitempty"`
+	// EngineVersion is the worker's version.Engine. The coordinator
+	// rejects a mismatch with 409: cache keys embed the engine version,
+	// so a skewed worker could never produce usable results.
+	EngineVersion string `json:"engine_version"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	OK bool `json:"ok"`
+	// HeartbeatSec is the interval the coordinator wants heartbeats at
+	// (a third of its worker TTL).
+	HeartbeatSec float64 `json:"heartbeat_sec"`
+}
+
+// ExecuteRequest dispatches one cell: a coordinate into the plan that
+// experiments.Cells derives from (Kind, Params), plus the identity the
+// worker must reproduce.
+type ExecuteRequest struct {
+	Kind string `json:"kind"`
+	// Params are the job's normalized campaign params; the worker
+	// recomputes the cell plan from them, so the wire carries no code
+	// and no partial state.
+	Params experiments.CampaignParams `json:"params"`
+	// Index is the cell's position in the plan.
+	Index int `json:"index"`
+	// CellID is the expected plan.Cells[Index].ID; a mismatch means the
+	// two sides built different plans and the worker must refuse.
+	CellID string `json:"cell_id"`
+	// Key is the expected cell cache key (content address), verified the
+	// same way.
+	Key string `json:"key"`
+}
+
+// ExecuteResponse is a worker's reply: the cell's canonical JSON body
+// plus provenance.
+type ExecuteResponse struct {
+	CellID string `json:"cell_id"`
+	Key    string `json:"key"`
+	// Worker is the responding worker's advertised URL.
+	Worker string `json:"worker"`
+	// Engine is the cell's resolved execution tier ("sim"/"analytic").
+	Engine string `json:"engine,omitempty"`
+	// Source tells where the worker got the bytes: "executed",
+	// "cache" (worker memory), "disk" (worker store), or "peer"
+	// (coordinator store via cache fill).
+	Source string `json:"source"`
+	// ExecNs is the execution wall time when Source == "executed", else
+	// the cost metadata that rode along with the cached bytes (0 if
+	// unknown). It becomes the eviction currency in the coordinator's
+	// caches.
+	ExecNs uint64 `json:"exec_ns,omitempty"`
+	// Body is the cell's canonical JSON partial, verbatim.
+	Body json.RawMessage `json:"body"`
+}
+
+// execCostHeader carries the exec-cost metadata on peer cache-fill
+// responses, which return the raw body (not an envelope).
+const execCostHeader = "X-Exec-Cost-Ns"
+
+// fleetError is the JSON error body of a non-2xx fleet response.
+type fleetError struct {
+	Error string `json:"error"`
+}
+
+func writeFleetJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeFleetError(w http.ResponseWriter, code int, msg string) {
+	writeFleetJSON(w, code, fleetError{Error: msg})
+}
+
+// defaultClient is the HTTP client both sides use when the caller does
+// not supply one: keep-alive, no global timeout (dispatch attempts are
+// bounded by hedging and context cancellation, heartbeats by their own
+// per-request contexts).
+func defaultClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+}

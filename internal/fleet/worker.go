@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/diskstore"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/resultcache"
+	"repro/internal/version"
+)
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL ("http://host:port").
+	Coordinator string
+	// Capacity is advertised to the coordinator as the max concurrent
+	// cells this worker wants (<=0 lets the coordinator default it).
+	Capacity int
+	// Cache and Store are the worker's local tiers, consulted before
+	// peer fill and execution; either may be nil.
+	Cache *resultcache.Cache
+	Store *diskstore.Store
+	// Heartbeat is the registration re-POST interval (default 2s).
+	Heartbeat time.Duration
+	// Client overrides the HTTP client used for heartbeats and peer
+	// fill.
+	Client *http.Client
+	// Logf, when non-nil, receives registration failures (a worker keeps
+	// retrying — the coordinator may simply not be up yet).
+	Logf func(format string, args ...any)
+}
+
+// WorkerMetrics are the worker-side counters rendered as
+// affinityd_fleet_worker_* at /metrics.
+type WorkerMetrics struct {
+	// Requests counts execute requests received.
+	Requests obs.Counter
+	// Executions counts cells this worker simulated to completion.
+	Executions obs.Counter
+	// CacheHits/DiskHits count execute requests served from the
+	// worker's local memory cache / disk store.
+	CacheHits obs.Counter
+	DiskHits  obs.Counter
+	// PeerFills counts cells served by asking the coordinator's store
+	// instead of executing.
+	PeerFills obs.Counter
+	// Errors counts execute requests that failed (bad plan coordinate,
+	// identity mismatch, or execution error).
+	Errors obs.Counter
+	// ExecNs is the local execution wall time per executed cell.
+	ExecNs obs.Histogram
+}
+
+// Worker executes dispatched cells and keeps itself registered with the
+// coordinator.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+
+	// Stats holds the worker counters; read directly by /metrics.
+	Stats WorkerMetrics
+
+	mu        sync.Mutex
+	advertise string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewWorker builds a Worker; Start begins the heartbeat loop once the
+// advertised URL is known (after the listener binds).
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = defaultClient()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{cfg: cfg, client: client, ctx: ctx, cancel: cancel}
+}
+
+// RegisterHandlers mounts the worker's execute endpoint.
+func (w *Worker) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+PathExecute, w.handleExecute)
+}
+
+// Start begins registering (and re-registering every heartbeat) with
+// the coordinator, advertising the given base URL. The first
+// registration is attempted synchronously so a worker that prints
+// "joined" is already dispatchable; failures are retried in the
+// background.
+func (w *Worker) Start(advertise string) {
+	w.mu.Lock()
+	w.advertise = advertise
+	w.mu.Unlock()
+	w.register()
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+}
+
+// Stop ends the heartbeat loop.
+func (w *Worker) Stop() {
+	w.cancel()
+	w.wg.Wait()
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	tick := time.NewTicker(w.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-tick.C:
+			w.register()
+		}
+	}
+}
+
+// register POSTs one registration/heartbeat, bounded by the heartbeat
+// interval so a hung coordinator cannot back the loop up.
+func (w *Worker) register() {
+	w.mu.Lock()
+	advertise := w.advertise
+	w.mu.Unlock()
+	body, err := json.Marshal(RegisterRequest{
+		URL:           advertise,
+		Capacity:      w.cfg.Capacity,
+		EngineVersion: version.Engine,
+	})
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(w.ctx, w.cfg.Heartbeat)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+PathRegister, bytes.NewReader(body))
+	if err != nil {
+		w.logf("fleet: register: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		w.logf("fleet: register with %s: %v", w.cfg.Coordinator, err)
+		return
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		// 409 is engine-version skew: permanent until redeploy, but a
+		// redeploy is exactly what fixes it, so keep heartbeating.
+		w.logf("fleet: register with %s: status %d: %.200s", w.cfg.Coordinator, resp.StatusCode, msg)
+	}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// handleExecute runs one dispatched cell. Lookup order mirrors the
+// coordinator's own tiers, extended by peer cache fill: local memory →
+// local disk → coordinator store → execute. Whatever the source, the
+// response carries the cell's canonical bytes and their provenance.
+func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
+	w.Stats.Requests.Inc()
+	var req ExecuteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("bad execute body: %v", err))
+		return
+	}
+	plan, err := experiments.Cells(req.Kind, req.Params)
+	if err != nil {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("cell plan: %v", err))
+		return
+	}
+	if req.Index < 0 || req.Index >= len(plan.Cells) {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("cell index %d outside plan (%d cells)", req.Index, len(plan.Cells)))
+		return
+	}
+	cell := &plan.Cells[req.Index]
+	key := resultcache.Key(cell.KeyKind, cell.KeyParams, version.Engine)
+	if cell.ID != req.CellID || key != req.Key {
+		// The two sides derived different plans from the same params —
+		// engine-version skew or a protocol bug. Refusing is the only
+		// safe answer: these bytes would be filed under the wrong key.
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusConflict, fmt.Sprintf(
+			"plan mismatch: computed cell %q key %.16s, dispatched %q %.16s", cell.ID, key, req.CellID, req.Key))
+		return
+	}
+	w.mu.Lock()
+	advertise := w.advertise
+	w.mu.Unlock()
+	resp := ExecuteResponse{CellID: cell.ID, Key: key, Worker: advertise, Engine: cell.Engine}
+
+	if w.cfg.Cache != nil {
+		if body, ok := w.cfg.Cache.Get(key); ok {
+			w.Stats.CacheHits.Inc()
+			resp.Source, resp.Body = "cache", body
+			writeFleetJSON(rw, http.StatusOK, resp)
+			return
+		}
+	}
+	if w.cfg.Store != nil {
+		if body, costNs, ok := w.cfg.Store.Get(key); ok {
+			w.Stats.DiskHits.Inc()
+			if w.cfg.Cache != nil {
+				w.cfg.Cache.PutCost(key, body, costNs)
+			}
+			resp.Source, resp.Body, resp.ExecNs = "disk", body, costNs
+			writeFleetJSON(rw, http.StatusOK, resp)
+			return
+		}
+	}
+	if body, costNs, ok := w.peerFetch(r.Context(), key); ok {
+		w.Stats.PeerFills.Inc()
+		if w.cfg.Cache != nil {
+			w.cfg.Cache.PutCost(key, body, costNs)
+		}
+		resp.Source, resp.Body, resp.ExecNs = "peer", body, costNs
+		writeFleetJSON(rw, http.StatusOK, resp)
+		return
+	}
+
+	start := time.Now()
+	var res any
+	var runErr error
+	pprof.Do(r.Context(), pprof.Labels("campaign", plan.Kind, "cell", cell.ID), func(ctx context.Context) {
+		res, runErr = cell.Run(ctx)
+	})
+	if runErr != nil {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusInternalServerError, fmt.Sprintf("cell %s: %v", cell.ID, runErr))
+		return
+	}
+	body, err := report.CanonicalJSON(res)
+	if err != nil {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusInternalServerError, fmt.Sprintf("encode cell %s: %v", cell.ID, err))
+		return
+	}
+	elapsed := uint64(time.Since(start))
+	w.Stats.Executions.Inc()
+	w.Stats.ExecNs.Observe(elapsed)
+	// Cache locally in both tiers: the worker's future dispatches (and
+	// its own client traffic, if any) reuse the work even if the
+	// coordinator's copy is evicted.
+	if w.cfg.Cache != nil {
+		w.cfg.Cache.PutCost(key, body, elapsed)
+	}
+	if w.cfg.Store != nil {
+		w.cfg.Store.Put(key, body, elapsed)
+	}
+	resp.Source, resp.Body, resp.ExecNs = "executed", body, elapsed
+	writeFleetJSON(rw, http.StatusOK, resp)
+}
+
+// peerFetch asks the coordinator's cache tiers for a cell body before
+// paying to execute it — the fleet-wide read path that makes N daemons
+// one logical cache.
+func (w *Worker) peerFetch(ctx context.Context, key string) ([]byte, uint64, bool) {
+	if w.cfg.Coordinator == "" {
+		return nil, 0, false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+PathCells+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, 0, false
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, 0, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || len(body) == 0 || !json.Valid(body) {
+		return nil, 0, false
+	}
+	costNs, _ := strconv.ParseUint(resp.Header.Get(execCostHeader), 10, 64)
+	return body, costNs, true
+}

@@ -91,16 +91,28 @@ func New(budget int64) *Cache {
 // Get returns the value stored under key, marking it most recently used.
 // The returned slice is shared and must not be modified.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	val, _, ok := c.GetCost(key)
+	return val, ok
+}
+
+// GetCost is Get plus the entry's recorded production cost (engine exec
+// nanoseconds; zero for entries stored via the legacy Put). The cost is
+// the eviction currency shared with the disk tier, so a path that copies
+// an entry into another tier — peer cache fill, disk promotion — should
+// use GetCost and carry the value along rather than re-file the bytes as
+// free.
+func (c *Cache) GetCost(key string) ([]byte, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, 0, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	e := el.Value.(*entry)
+	return e.val, e.costNs, true
 }
 
 // Put stores val under key with zero cost metadata, evicting

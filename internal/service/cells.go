@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
@@ -50,7 +51,10 @@ type jobEvent struct {
 	Cache string `json:"cache,omitempty"`
 	// Engine is the cell's resolved execution tier ("sim" or "analytic")
 	// on cell events of the grid-shaped kinds; empty elsewhere.
-	Engine         string `json:"engine,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Worker is the advertised URL of the fleet worker that produced a
+	// remotely executed cell; empty for local execution and cache tiers.
+	Worker         string `json:"worker,omitempty"`
 	CellsTotal     int    `json:"cells_total"`
 	CellsDone      int    `json:"cells_done"`
 	CellsFromCache int    `json:"cells_from_cache"`
@@ -70,7 +74,11 @@ type cellTracker struct {
 	done      int
 	fromCache int
 	fromDisk  int
-	events    []jobEvent
+	remote    int
+	// workers counts remotely executed cells per worker URL; nil until
+	// the first remote cell.
+	workers map[string]int
+	events  []jobEvent
 	// changed is closed and replaced whenever an event is appended;
 	// stream handlers park on the current instance.
 	changed chan struct{}
@@ -92,6 +100,20 @@ func (t *cellTracker) counts() (total, done, fromCache, fromDisk int) {
 	return t.total, t.done, t.fromCache, t.fromDisk
 }
 
+// remoteCounts snapshots the fleet attribution: how many cells were
+// executed by workers, and by whom.
+func (t *cellTracker) remoteCounts() (remote int, workers map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.workers) > 0 {
+		workers = make(map[string]int, len(t.workers))
+		for w, n := range t.workers {
+			workers[w] = n
+		}
+	}
+	return t.remote, workers
+}
+
 // appendLocked stamps the event with the tracker's current counts and
 // sequence, appends it, and wakes stream readers. Callers hold t.mu.
 func (t *cellTracker) appendLocked(ev jobEvent) {
@@ -108,8 +130,9 @@ func (t *cellTracker) appendLocked(ev jobEvent) {
 
 // recordCell logs one completed cell; cache is "hit" (memory), "disk"
 // (persistent tier), or "miss", engine the cell's resolved tier ("" for
-// kinds without one).
-func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine string) {
+// kinds without one), worker the fleet worker that executed a remote
+// cell ("" for local execution and cache tiers).
+func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine, worker string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.done++
@@ -119,7 +142,14 @@ func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine 
 	case "disk":
 		t.fromDisk++
 	}
-	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine})
+	if worker != "" {
+		t.remote++
+		if t.workers == nil {
+			t.workers = make(map[string]int)
+		}
+		t.workers[worker]++
+	}
+	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine, Worker: worker})
 }
 
 // recordTerminal logs the job's final event. Called from setTerminal
@@ -157,7 +187,7 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 		if body, ok := s.cellCache.Get(key); ok {
 			s.metrics.cells.Hits.Inc()
 			partials[i] = body
-			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine)
+			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine, "")
 			return nil
 		}
 		// Disk tier: a cell some earlier process (or an evicted cache
@@ -168,25 +198,49 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 				s.metrics.cells.DiskHits.Inc()
 				s.cellCache.PutCost(key, body, costNs)
 				partials[i] = body
-				j.cells.recordCell(j.id, cell.ID, i, "disk", cell.Engine)
+				j.cells.recordCell(j.id, cell.ID, i, "disk", cell.Engine, "")
 				return nil
 			}
 		}
 		s.metrics.cells.Misses.Inc()
 		start := time.Now()
-		// Label the execution so CPU profiles attribute samples to the
-		// campaign kind and grid coordinate they simulated.
-		var res any
-		var runErr error
-		pprof.Do(ctx, pprof.Labels("campaign", plan.Kind, "cell", cell.ID), func(ctx context.Context) {
-			res, runErr = cell.Run(ctx)
-		})
-		if runErr != nil {
-			return runErr
+		// Fleet dispatch: in coordinator mode a missed cell is executed
+		// on a worker, with retry/hedging absorbed inside Dispatch so
+		// exactly one result ever comes back per miss — the Misses ==
+		// Executions invariant is placement-independent. Any dispatch
+		// failure (no live workers, every attempt failed) falls back to
+		// local execution: the fleet accelerates campaigns, never gates
+		// them.
+		var body []byte
+		var workerURL string
+		costNs := uint64(0)
+		if s.fleet != nil {
+			if resp, err := s.fleet.Dispatch(ctx, fleet.ExecuteRequest{
+				Kind:   plan.Kind,
+				Params: j.params,
+				Index:  i,
+				CellID: cell.ID,
+				Key:    key,
+			}); err == nil {
+				body, workerURL, costNs = resp.Body, resp.Worker, resp.ExecNs
+			}
 		}
-		body, err := report.CanonicalJSON(res)
-		if err != nil {
-			return fmt.Errorf("encode cell %s: %w", cell.ID, err)
+		if body == nil {
+			// Label the execution so CPU profiles attribute samples to the
+			// campaign kind and grid coordinate they simulated.
+			var res any
+			var runErr error
+			pprof.Do(ctx, pprof.Labels("campaign", plan.Kind, "cell", cell.ID), func(ctx context.Context) {
+				res, runErr = cell.Run(ctx)
+			})
+			if runErr != nil {
+				return runErr
+			}
+			var err error
+			body, err = report.CanonicalJSON(res)
+			if err != nil {
+				return fmt.Errorf("encode cell %s: %w", cell.ID, err)
+			}
 		}
 		s.metrics.cells.Executions.Inc()
 		elapsed := time.Since(start)
@@ -203,13 +257,18 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 		// Cache the partial the moment it completes — in both tiers: a
 		// drain or cancel later in the campaign keeps this cell's work,
 		// and the write-behind disk Put survives a process death. The
-		// exec time rides along as the eviction currency.
-		s.cellCache.PutCost(key, body, uint64(elapsed))
+		// exec time rides along as the eviction currency (a remote cell
+		// keeps the worker's measured cost, so eviction still weighs
+		// simulation time rather than network time).
+		if costNs == 0 {
+			costNs = uint64(elapsed)
+		}
+		s.cellCache.PutCost(key, body, costNs)
 		if s.store != nil {
-			s.store.Put(key, body, uint64(elapsed))
+			s.store.Put(key, body, costNs)
 		}
 		partials[i] = body
-		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine)
+		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine, workerURL)
 		return nil
 	})
 	if err != nil {

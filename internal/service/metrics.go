@@ -184,6 +184,35 @@ func (m *metrics) serve(w http.ResponseWriter, r *http.Request) {
 	gauge("affinityd_store_budget_bytes", "Disk-store byte budget (0 = unbudgeted).", ds.Budget)
 	gauge("affinityd_store_flush_queue_depth", "Writes waiting on the write-behind queue.", ds.QueueDepth)
 
+	// Fleet dispatch (coordinator mode) and worker-side execution
+	// counters; rendered only on daemons with a fleet role so
+	// single-process scrapes keep their historical metric set.
+	if fc := m.server.fleet; fc != nil {
+		gauge("affinityd_fleet_workers", "Live registered fleet workers.", fc.LiveWorkers())
+		counter("affinityd_fleet_dispatches_total", "Cell dispatch attempts launched (first tries, retries, hedges).", fc.Stats.Dispatches.Load())
+		counter("affinityd_fleet_remote_cells_total", "Cells resolved by a fleet worker's result.", fc.Stats.RemoteCells.Load())
+		counter("affinityd_fleet_retries_total", "Dispatch attempts relaunched after a failed one.", fc.Stats.Retries.Load())
+		counter("affinityd_fleet_hedges_total", "Hedged re-dispatches of straggling cells.", fc.Stats.Hedges.Load())
+		counter("affinityd_fleet_hedge_wins_total", "Dispatches won by a retry or hedge rather than the first attempt.", fc.Stats.HedgeWins.Load())
+		counter("affinityd_fleet_duplicates_discarded_total", "Valid duplicate results discarded after a winner (at-least-once overshoot).", fc.Stats.Duplicates.Load())
+		counter("affinityd_fleet_attempt_failures_total", "Dispatch attempts that returned an error.", fc.Stats.Failures.Load())
+		counter("affinityd_fleet_local_fallbacks_total", "Dispatches that returned no result, executing the cell locally.", fc.Stats.Fallbacks.Load())
+		counter("affinityd_fleet_registrations_total", "New workers registered.", fc.Stats.Registrations.Load())
+		counter("affinityd_fleet_expirations_total", "Workers dropped by heartbeat expiry or connection failure.", fc.Stats.Expirations.Load())
+		counter("affinityd_fleet_peer_hits_total", "Peer cache-fill lookups served from the coordinator's tiers.", fc.Stats.PeerHits.Load())
+		counter("affinityd_fleet_peer_misses_total", "Peer cache-fill lookups that missed both coordinator tiers.", fc.Stats.PeerMisses.Load())
+		nsHistogram(&b, "affinityd_fleet_rtt_seconds", "Round-trip time of successful dispatch attempts.", &fc.Stats.RTTNs)
+	}
+	if fw := m.server.fleetWorker; fw != nil {
+		counter("affinityd_fleet_worker_requests_total", "Cell execute requests received from the coordinator.", fw.Stats.Requests.Load())
+		counter("affinityd_fleet_worker_executions_total", "Cells this worker simulated to completion.", fw.Stats.Executions.Load())
+		counter("affinityd_fleet_worker_cache_hits_total", "Execute requests served from the worker's memory cache.", fw.Stats.CacheHits.Load())
+		counter("affinityd_fleet_worker_disk_hits_total", "Execute requests served from the worker's disk store.", fw.Stats.DiskHits.Load())
+		counter("affinityd_fleet_worker_peer_fills_total", "Cells served by fetching from the coordinator's store.", fw.Stats.PeerFills.Load())
+		counter("affinityd_fleet_worker_errors_total", "Execute requests that failed.", fw.Stats.Errors.Load())
+		nsHistogram(&b, "affinityd_fleet_worker_exec_seconds", "Local execution wall time per executed cell.", &fw.Stats.ExecNs)
+	}
+
 	// Engine-level simulation counters, folded from every completed job's
 	// per-run SimStats (the paper's Figure 1 decomposition).
 	m.simMu.Lock()

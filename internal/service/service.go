@@ -43,6 +43,7 @@
 //	GET    /v1/jobs/{id}/events NDJSON stream of per-cell progress events
 //	GET    /v1/jobs/{id}/stats  job's simulation-counter decomposition
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/workers          fleet worker registry (coordinator mode)
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
 //	GET    /debug/pprof/...     runtime profiles (Config.EnablePprof only)
@@ -68,6 +69,7 @@ import (
 
 	"repro/internal/diskstore"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/resultcache"
@@ -135,6 +137,20 @@ type Config struct {
 	// persistence. The server flushes the store's write-behind queue
 	// during Shutdown; closing the store remains the owner's job.
 	Store *diskstore.Store
+	// Fleet, when non-nil, makes this server a fleet coordinator
+	// (internal/fleet): campaign cells that miss both cache tiers are
+	// dispatched over HTTP to registered workers — with bounded retry,
+	// hedged re-dispatch of stragglers, and local-execution fallback —
+	// and the coordinator's fleet endpoints (worker registration, peer
+	// cache fill) are mounted alongside /v1. The Coordinator should
+	// share this server's CellCache and Store so peer fill serves the
+	// same tiers the server reads.
+	Fleet *fleet.Coordinator
+	// FleetWorker, when non-nil, mounts the worker-side cell execution
+	// endpoint and renders its counters at /metrics; set by cmd/affinityd
+	// in -join mode. A daemon can be a worker and still serve its own
+	// /v1 traffic.
+	FleetWorker *fleet.Worker
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
 	// off: the profiling surface stays closed unless explicitly opened).
 	EnablePprof bool
@@ -260,6 +276,7 @@ func (j *job) view() jobView {
 		EventsURL: "/v1/jobs/" + j.id + "/events",
 	}
 	v.CellsTotal, v.CellsDone, v.CellsFromCache, v.CellsFromDisk = j.cells.counts()
+	v.CellsRemote, v.Workers = j.cells.remoteCounts()
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)
 	}
@@ -293,12 +310,17 @@ type jobView struct {
 	// Cell progress: total cells in the campaign's plan, completed so
 	// far, and how many of those were satisfied from the cell cache.
 	// All zero for jobs run through a custom Runner.
-	CellsTotal     int    `json:"cells_total"`
-	CellsDone      int    `json:"cells_done"`
-	CellsFromCache int    `json:"cells_from_cache"`
-	CellsFromDisk  int    `json:"cells_from_disk"`
-	ResultURL      string `json:"result_url,omitempty"`
-	EventsURL      string `json:"events_url,omitempty"`
+	CellsTotal     int `json:"cells_total"`
+	CellsDone      int `json:"cells_done"`
+	CellsFromCache int `json:"cells_from_cache"`
+	CellsFromDisk  int `json:"cells_from_disk"`
+	// CellsRemote counts cells executed by fleet workers, and Workers
+	// attributes them by advertised worker URL; zero/absent outside
+	// coordinator mode.
+	CellsRemote int            `json:"cells_remote,omitempty"`
+	Workers     map[string]int `json:"workers,omitempty"`
+	ResultURL   string         `json:"result_url,omitempty"`
+	EventsURL   string         `json:"events_url,omitempty"`
 }
 
 // Server is the affinityd serving core, independent of any listener so
@@ -317,6 +339,12 @@ type Server struct {
 	// store is the disk tier under both caches; nil when persistence is
 	// disabled.
 	store *diskstore.Store
+	// fleet is the coordinator-mode dispatcher; nil when this daemon
+	// executes every cell itself.
+	fleet *fleet.Coordinator
+	// fleetWorker is the worker-mode execute endpoint; nil unless this
+	// daemon joined a coordinator.
+	fleetWorker *fleet.Worker
 
 	mu       sync.Mutex
 	draining bool
@@ -345,16 +373,18 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		cache:      resultcache.New(cfg.CacheBytes),
-		useCells:   useCells,
-		cellCache:  cellCache,
-		store:      cfg.Store,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       make(map[string]*job),
-		inflight:   make(map[string]*job),
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		cfg:         cfg,
+		cache:       resultcache.New(cfg.CacheBytes),
+		useCells:    useCells,
+		cellCache:   cellCache,
+		store:       cfg.Store,
+		fleet:       cfg.Fleet,
+		fleetWorker: cfg.FleetWorker,
+		queue:       make(chan *job, cfg.QueueDepth),
+		jobs:        make(map[string]*job),
+		inflight:    make(map[string]*job),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
 	s.metrics = newMetrics(s)
 	s.mux = http.NewServeMux()
@@ -366,8 +396,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.serve)
+	if s.fleet != nil {
+		s.fleet.RegisterHandlers(s.mux)
+	}
+	if s.fleetWorker != nil {
+		s.fleetWorker.RegisterHandlers(s.mux)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -788,12 +825,36 @@ func validJobStatus(st string) bool {
 	return false
 }
 
+// parseJobSeq extracts the numeric admission sequence from a job id
+// ("j" + decimal digits, zero-padded for display). Pagination compares
+// sequences numerically, never as strings: a lexical keyset silently
+// breaks the moment the sequence outgrows its padding ("j100000000"
+// sorts before "j99999999"), skipping or replaying entries.
+func parseJobSeq(id string) (uint64, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
 // handleListJobs lists retained jobs with optional filters and keyset
-// pagination. Ordering is stable and documented: ascending job id, and
-// ids are zero-padded sequence numbers, so the order is admission order.
-// page_token is the last id of the previous page; a page is full when
-// limit (default 100, max 1000) views accumulate, and next_page_token is
-// present iff more matching jobs remain.
+// pagination. Ordering is stable and documented: ascending admission
+// sequence (job ids are "j" + a zero-padded sequence number), so the
+// order is admission order. page_token is the last id of the previous
+// page; a page is full when limit (default 100, max 1000) views
+// accumulate, and next_page_token is present iff more matching jobs
+// remain.
+//
+// Token semantics under reaping: the listing resumes strictly after the
+// token's admission position, whether or not that job still exists — a
+// token naming a job the janitor has already evicted is still a valid
+// position, so pagination never skips or replays survivors. A token
+// that is not a job id at all (malformed) is a 400 invalid_param: it
+// cannot denote a position.
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	status := q.Get("status")
@@ -820,20 +881,33 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	token := q.Get("page_token")
+	afterSeq := uint64(0)
+	if token := q.Get("page_token"); token != "" {
+		seq, ok := parseJobSeq(token)
+		if !ok {
+			writeAPIError(w, http.StatusBadRequest, "invalid_param", "page_token",
+				fmt.Sprintf("malformed page token %q (want a job id)", token))
+			return
+		}
+		afterSeq = seq
+	}
 
 	s.mu.Lock()
 	views := make([]jobView, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		views = append(views, j.view())
+	seqs := make(map[string]uint64, len(s.jobs))
+	for id, j := range s.jobs {
+		if seq, ok := parseJobSeq(id); ok {
+			seqs[id] = seq
+			views = append(views, j.view())
+		}
 	}
 	s.mu.Unlock()
-	sort.Slice(views, func(i, k int) bool { return views[i].ID < views[k].ID })
+	sort.Slice(views, func(i, k int) bool { return seqs[views[i].ID] < seqs[views[k].ID] })
 
 	page := make([]jobView, 0, limit)
 	next := ""
 	for _, v := range views {
-		if v.ID <= token {
+		if seqs[v.ID] <= afterSeq {
 			continue
 		}
 		if status != "" && v.Status != status {
@@ -928,6 +1002,26 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		s.finish(j, statusCanceled, nil, "canceled by request")
 	}
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// handleListWorkers surfaces fleet state: the registered (unexpired)
+// workers when this daemon is a coordinator, or an empty listing with
+// coordinator=false when it is not — the endpoint exists either way so
+// clients can probe a daemon's role.
+func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"api_version": apiVersion,
+			"coordinator": false,
+			"workers":     []fleet.WorkerView{},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"api_version": apiVersion,
+		"coordinator": true,
+		"workers":     s.fleet.Workers(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

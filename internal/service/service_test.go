@@ -801,3 +801,109 @@ func TestTerminalJobRetention(t *testing.T) {
 		t.Errorf("runner executed %d times, want 4", n)
 	}
 }
+
+// TestListJobsPaginationSurvivesReaping pins the keyset-pagination
+// contract under the janitor race: a page_token naming a job the janitor
+// reaped between pages is still a valid position — the next page resumes
+// strictly after it, skipping no survivor and replaying none. Malformed
+// tokens are 400s, and the keyset compares admission sequences
+// numerically, so ids that outgrow their zero-padding still order
+// correctly.
+func TestListJobsPaginationSurvivesReaping(t *testing.T) {
+	var runs atomic.Int64
+	e := newEnv(t, Config{QueueDepth: 16, JobWorkers: 1, Runner: countingRunner(&runs, 0)})
+	submit := func(seed int) {
+		t.Helper()
+		r := e.submit(fmt.Sprintf(`{"kind":"table1","params":{"fast":true,"budget_sec":0.5,"seed":%d}}`, seed))
+		b := readAll(t, r)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("submit seed %d: %d %s", seed, r.StatusCode, b)
+		}
+	}
+	for seed := 1; seed <= 6; seed++ {
+		submit(seed)
+	}
+
+	list := func(query string) (ids []string, next string) {
+		t.Helper()
+		resp, err := http.Get(e.url + "/v1/jobs?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("list %q: %d %s", query, resp.StatusCode, body)
+		}
+		var out struct {
+			Jobs []jobView `json:"jobs"`
+			Next string    `json:"next_page_token"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range out.Jobs {
+			ids = append(ids, v.ID)
+		}
+		return ids, out.Next
+	}
+	eq := func(got []string, want ...string) {
+		t.Helper()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("page = %v, want %v", got, want)
+		}
+	}
+
+	ids, next := list("limit=2")
+	eq(ids, "j00000001", "j00000002")
+	if next != "j00000002" {
+		t.Fatalf("next_page_token = %q, want j00000002", next)
+	}
+
+	// The janitor race: the token's own job and the one after it are
+	// reaped between page fetches (exactly what reapLocked does).
+	e.s.mu.Lock()
+	delete(e.s.jobs, "j00000002")
+	delete(e.s.jobs, "j00000003")
+	e.s.mu.Unlock()
+
+	ids, next = list("limit=2&page_token=j00000002")
+	eq(ids, "j00000004", "j00000005")
+	if next != "j00000005" {
+		t.Fatalf("next_page_token after reap = %q, want j00000005", next)
+	}
+	ids, next = list("limit=2&page_token=" + next)
+	eq(ids, "j00000006")
+	if next != "" {
+		t.Fatalf("final page carried next_page_token %q", next)
+	}
+
+	// Malformed tokens cannot denote a position: 400, field page_token.
+	for _, tok := range []string{"garbage", "j12x", "00000004", "j", "j-3"} {
+		resp, err := http.Get(e.url + "/v1/jobs?page_token=" + tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("token %q: status %d %s, want 400", tok, resp.StatusCode, body)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Error.Code != "invalid_param" || env.Error.Field != "page_token" {
+			t.Fatalf("token %q: error %+v, want invalid_param on page_token", tok, env.Error)
+		}
+	}
+
+	// Numeric keyset: ids that outgrow the 8-digit padding must still
+	// order by admission sequence ("j100000000" comes after "j99999999",
+	// though it sorts before it lexically).
+	e.s.mu.Lock()
+	e.s.jobSeq = 99999998
+	e.s.mu.Unlock()
+	submit(7) // j99999999
+	submit(8) // j100000000
+	ids, _ = list("page_token=j99999999&limit=10")
+	eq(ids, "j100000000")
+}

@@ -252,3 +252,107 @@ func TestStoreMetricsRendered(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelKeepsCompletedCellsDurable is the write-behind loss-window
+// regression: cells completed before a job is cancelled were Put onto the
+// diskstore flusher queue — cancellation must not void those acknowledged
+// writes. Cancel a campaign mid-grid, restart the service on the same
+// directory, re-submit, and require every cell completed before the
+// cancel to be served from disk without re-executing.
+func TestCancelKeepsCompletedCellsDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs in -short mode")
+	}
+	dir := t.TempDir()
+	// 5 sequential cells (~tens of ms each): enough runway to cancel
+	// after the first completes and before the last starts.
+	req := `{"kind":"compare","params":{"fast":true,"reps":8,"mix":5,"policies":["Equipartition","Dynamic","Dyn-Aff","Dyn-Aff-Delay","Dyn-Aff-NoPri"],"workers":1},"async":true}`
+
+	store1 := openStore(t, dir)
+	e1 := newEnv(t, Config{QueueDepth: 4, JobWorkers: 1, Store: store1})
+	r := e1.submit(req)
+	ab := readAll(t, r)
+	if r.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", r.StatusCode, ab)
+	}
+	var accepted jobView
+	if err := json.Unmarshal(ab, &accepted); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll until at least one cell completed, then cancel immediately.
+	poll := func() jobView {
+		t.Helper()
+		resp, err := http.Get(e1.url + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		if err := json.Unmarshal(readAll(t, resp), &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var v jobView
+	for {
+		if v = poll(); v.CellsDone >= 1 || v.Status != "running" && v.Status != "queued" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no cell completed before deadline: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v.Status != "running" {
+		t.Fatalf("job reached %q before it could be cancelled mid-grid", v.Status)
+	}
+	del, err := http.NewRequest(http.MethodDelete, e1.url+"/v1/jobs/"+accepted.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, dresp)
+	for {
+		if v = poll(); v.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job did not stop after DELETE: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v.Status != "canceled" {
+		t.Fatalf("job status after DELETE = %q, want canceled (%+v)", v.Status, v)
+	}
+	completed := v.CellsDone
+	if completed < 1 || completed >= v.CellsTotal {
+		t.Fatalf("cancel landed outside the grid: %d/%d cells done", completed, v.CellsTotal)
+	}
+
+	// Restart: the cancelled job's completed cells must have survived the
+	// write-behind queue across Shutdown+Close.
+	shutdown(t, e1.s)
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2 := openStore(t, dir)
+	defer store2.Close()
+	if st := store2.Stats(); st.Entries < completed {
+		t.Fatalf("reopened store has %d entries, want >= %d completed cells (%+v)", st.Entries, completed, st)
+	}
+
+	e2 := newEnv(t, Config{QueueDepth: 4, JobWorkers: 1, Store: store2})
+	r2 := e2.submit(`{"kind":"compare","params":{"fast":true,"reps":8,"mix":5,"policies":["Equipartition","Dynamic","Dyn-Aff","Dyn-Aff-Delay","Dyn-Aff-NoPri"],"workers":1}}`)
+	body2 := readAll(t, r2)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit after restart: %d %s", r2.StatusCode, body2)
+	}
+	c := &e2.s.metrics.cells
+	if d, x := c.DiskHits.Load(), c.Executions.Load(); int(d) < completed || int(d+x) != 5 {
+		t.Errorf("resubmit accounting: disk=%d executions=%d, want disk >= %d and disk+exec = 5", d, x, completed)
+	}
+}

@@ -14,6 +14,7 @@
 //	          [-retry-after SEC] [-job-ttl-sec SEC] [-max-jobs N]
 //	          [-store-dir DIR] [-store-budget MB] [-store-sync]
 //	          [-coordinator] [-join URL] [-advertise URL] [-hedge-ms N]
+//	          [-hedge-budget N] [-fleet-token SECRET]
 //	          [-workers N] [-seed N] [-cpuprofile FILE] [-memprofile FILE]
 //	          [-stats] [-pprof]
 //
@@ -46,6 +47,14 @@
 //	             behind NAT or a non-loopback interface)
 //	-hedge-ms    coordinator: milliseconds before a straggling cell is
 //	             re-dispatched to another worker (default 1000)
+//	-hedge-budget coordinator: max retries + hedges one campaign may spend
+//	             across all its cells (default 16, <0 = unlimited); once
+//	             dry, cells fall back to local execution and the job view
+//	             reports budget_exhausted
+//	-fleet-token shared secret authenticating every fleet request (HMAC
+//	             over method, path, timestamp, and body; constant-time
+//	             verification). Set the same value on the coordinator and
+//	             every worker; empty keeps the open trusted-network mode
 //	-workers     per-campaign simulation-cell concurrency applied when a
 //	             request omits params.workers (0 = all CPUs)
 //	-seed        default root seed for requests that omit params.seed
@@ -111,6 +120,8 @@ func run() (err error) {
 	join := fs.String("join", "", "run as fleet worker: coordinator base URL to register with")
 	advertise := fs.String("advertise", "", "base URL to advertise to the coordinator (default: bound address)")
 	hedgeMS := fs.Int("hedge-ms", 1000, "coordinator: ms before a straggling cell is re-dispatched")
+	fleetToken := fs.String("fleet-token", "", "shared secret authenticating fleet requests (HMAC; empty = unauthenticated)")
+	hedgeBudget := fs.Int("hedge-budget", 16, "coordinator: max retries+hedges per campaign (<0 = unlimited)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 	fs.Parse(os.Args[1:])
 	if *coordinator && *join != "" {
@@ -169,17 +180,25 @@ func run() (err error) {
 	case *coordinator:
 		cellCache := resultcache.New(cfg.CacheBytes)
 		cfg.CellCache = cellCache
+		cfg.HedgeBudget = *hedgeBudget
 		cfg.Fleet = fleet.NewCoordinator(fleet.Config{
 			Cache:      cellCache,
 			Store:      cfg.Store,
+			Token:      *fleetToken,
 			HedgeDelay: time.Duration(*hedgeMS) * time.Millisecond,
 		})
-		fmt.Printf("affinityd: coordinator mode (hedge after %dms; workers join at %s)\n", *hedgeMS, fleet.PathRegister)
+		authMode := "unauthenticated"
+		if *fleetToken != "" {
+			authMode = "authenticated"
+		}
+		fmt.Printf("affinityd: coordinator mode (%s; hedge after %dms, budget %d; workers join at %s)\n",
+			authMode, *hedgeMS, *hedgeBudget, fleet.PathRegister)
 	case *join != "":
 		cellCache := resultcache.New(cfg.CacheBytes)
 		cfg.CellCache = cellCache
 		fleetWorker = fleet.NewWorker(fleet.WorkerConfig{
 			Coordinator: *join,
+			Token:       *fleetToken,
 			Capacity:    common.Workers,
 			Cache:       cellCache,
 			Store:       cfg.Store,
@@ -203,12 +222,14 @@ func run() (err error) {
 		if adv == "" {
 			adv = "http://" + ln.Addr().String()
 		}
-		// Start registers synchronously, so the "joined" line means the
-		// coordinator can already dispatch here (or the first attempt
-		// failed and the heartbeat loop is retrying).
+		// Start registers synchronously, but a refused registration (401
+		// token mismatch, 409 engine skew — both logged above by the
+		// worker) leaves the heartbeat loop retrying, so this line claims
+		// only what is certain: worker mode is on and aimed at the
+		// coordinator.
 		fleetWorker.Start(adv)
 		defer fleetWorker.Stop()
-		fmt.Printf("affinityd: joined fleet at %s (advertising %s)\n", *join, adv)
+		fmt.Printf("affinityd: worker mode (registering with %s, advertising %s)\n", *join, adv)
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}

@@ -595,11 +595,16 @@ func TestCellSmoke(t *testing.T) {
 // against real binaries:
 //
 //  1. Boot one coordinator and three workers (random ports, workers
-//     joining via -join), waiting on /v1/workers for all three to
-//     register — readiness is polled, never slept for.
-//  2. Submit a table1 campaign and kill -9 one worker mid-grid. The
-//     coordinator must absorb the loss — retry or hedge the orphaned
-//     cells elsewhere (visible in affinityd_fleet_*) — and finish.
+//     joining via -join), all holding the same -fleet-token, waiting on
+//     /v1/workers for all three to register — readiness is polled,
+//     never slept for. A fourth worker with no token keeps knocking and
+//     never joins, and a hand-rolled unsigned registration gets the 401
+//     envelope: the authenticated transport is on for the whole run.
+//  2. Submit a table1 campaign and kill -9 the best-scored worker (the
+//     one placement loaded most) mid-grid. The coordinator must absorb
+//     the loss — retry or hedge the orphaned cells elsewhere (visible
+//     in affinityd_fleet_*), shift placement to the survivors — and
+//     finish; the dead worker drops from /v1/workers/{id}.
 //  3. The final body must be byte-identical to a cold single-process
 //     run, with the coordinator's misses == executions invariant intact
 //     (duplicates from hedging never double-fold).
@@ -695,23 +700,32 @@ func TestFleetSmoke(t *testing.T) {
 		t.Fatalf("cold run: %d %s", coldResp.StatusCode, coldBody)
 	}
 
-	// Fleet: one coordinator, three workers. A short hedge delay makes
-	// any straggler (including the one we orphan by SIGKILL) re-dispatch
-	// quickly.
-	coord, coordBase := boot("-coordinator", "-hedge-ms", "250", "-jobs", "1", "-queue", "4")
+	// Fleet: one coordinator, three workers, all sharing a fleet token —
+	// the smoke gate runs with the authenticated transport on. A short
+	// hedge delay makes any straggler (including the one we orphan by
+	// SIGKILL) re-dispatch quickly.
+	const token = "fleet-smoke-secret"
+	coord, coordBase := boot("-coordinator", "-fleet-token", token, "-hedge-ms", "250", "-jobs", "1", "-queue", "4")
 	defer coord.Process.Kill()
 	var workers []*exec.Cmd
+	var workerBases []string
 	for i := 0; i < 3; i++ {
-		w, _ := boot("-join", coordBase)
+		w, base := boot("-join", coordBase, "-fleet-token", token)
 		defer w.Process.Kill()
 		workers = append(workers, w)
+		workerBases = append(workerBases, base)
 	}
+	// A rogue worker with no token: it keeps knocking, never joins.
+	rogue, _ := boot("-join", coordBase)
+	defer rogue.Process.Kill()
 
 	// Readiness: poll the registry until all three workers are live.
 	type workersView struct {
 		Coordinator bool `json:"coordinator"`
 		Workers     []struct {
-			URL string `json:"url"`
+			ID         string `json:"id"`
+			URL        string `json:"url"`
+			Dispatched int    `json:"dispatched"`
 		} `json:"workers"`
 	}
 	deadline := time.Now().Add(60 * time.Second)
@@ -730,6 +744,45 @@ func TestFleetSmoke(t *testing.T) {
 	}
 	if !wv.Coordinator {
 		t.Fatalf("/v1/workers does not report coordinator mode: %+v", wv)
+	}
+
+	// The rogue's unsigned registrations are being refused: the rejection
+	// counter moves while the registry stays at three.
+	for metric(coordBase, "affinityd_fleet_auth_rejections_total") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never counted an auth rejection from the tokenless worker")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := json.Unmarshal(get(coordBase, "/v1/workers"), &wv); err != nil {
+		t.Fatal(err)
+	}
+	if len(wv.Workers) != 3 {
+		t.Fatalf("tokenless worker joined the registry: %+v", wv)
+	}
+
+	// A hand-rolled unsigned registration gets the standard 401 envelope.
+	unauth, err := http.Post(coordBase+"/v1/fleet/register", "application/json",
+		strings.NewReader(`{"url":"http://203.0.113.9:7101","engine_version":"whatever"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, _ := io.ReadAll(unauth.Body)
+	unauth.Body.Close()
+	if unauth.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unsigned register: status %d %s, want 401", unauth.StatusCode, ub)
+	}
+	var envlp struct {
+		APIVersion string `json:"api_version"`
+		Error      struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(ub, &envlp); err != nil {
+		t.Fatalf("unsigned register response is not the envelope: %s", ub)
+	}
+	if envlp.APIVersion != "v1" || envlp.Error.Code != "unauthenticated" {
+		t.Fatalf("unsigned register envelope = %s, want v1/unauthenticated", ub)
 	}
 
 	// Submit async, then kill -9 a worker as soon as the grid is moving.
@@ -769,10 +822,27 @@ func TestFleetSmoke(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if err := workers[0].Process.Kill(); err != nil { // SIGKILL: no goodbye
+	// Kill the best-scored worker: the one placement has loaded the most
+	// so far. Losing the scorer's favourite forces a visible placement
+	// shift onto the survivors.
+	if err := json.Unmarshal(get(coordBase, "/v1/workers"), &wv); err != nil {
 		t.Fatal(err)
 	}
-	workers[0].Wait()
+	victim, deadID, maxDispatched := 0, "", -1
+	for _, w := range wv.Workers {
+		for i, base := range workerBases {
+			if w.URL == base && w.Dispatched > maxDispatched {
+				victim, deadID, maxDispatched = i, w.ID, w.Dispatched
+			}
+		}
+	}
+	if deadID == "" {
+		t.Fatalf("no registered worker matches a booted base: %+v vs %v", wv, workerBases)
+	}
+	if err := workers[victim].Process.Kill(); err != nil { // SIGKILL: no goodbye
+		t.Fatal(err)
+	}
+	workers[victim].Wait()
 
 	// The campaign must still finish.
 	for {
@@ -806,6 +876,37 @@ func TestFleetSmoke(t *testing.T) {
 	}
 	if live := metric(coordBase, "affinityd_fleet_workers"); live != 2 {
 		t.Errorf("affinityd_fleet_workers = %d after kill, want 2", live)
+	}
+	// The dead worker dropped from the detail surface too.
+	if dr, err := http.Get(coordBase + "/v1/workers/" + deadID); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, dr.Body)
+		dr.Body.Close()
+		if dr.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /v1/workers/%s after kill: %d, want 404", deadID, dr.StatusCode)
+		}
+	}
+	// Placement was scored, not round-robined: every dispatch recorded a
+	// decision, and the survivors' detail rows show RTT measurements.
+	if pd := metric(coordBase, "affinityd_fleet_placement_decisions_total"); pd < totalCells {
+		t.Errorf("placement decisions = %d, want >= %d", pd, totalCells)
+	}
+	if err := json.Unmarshal(get(coordBase, "/v1/workers"), &wv); err != nil {
+		t.Fatal(err)
+	}
+	measured := 0
+	for _, w := range wv.Workers {
+		var d struct {
+			RTTCount int `json:"rtt_count"`
+		}
+		if err := json.Unmarshal(get(coordBase, "/v1/workers/"+w.ID), &d); err != nil {
+			t.Fatal(err)
+		}
+		measured += d.RTTCount
+	}
+	if measured < 1 {
+		t.Errorf("no survivor has an RTT measurement; placement shift invisible")
 	}
 	// Placement-independent accounting: every miss resolved to exactly
 	// one execution, however many dispatch attempts it took.

@@ -60,7 +60,7 @@ func newStubWorker(t *testing.T, delay func(n int) time.Duration) *stubWorker {
 	mux.HandleFunc("POST "+PathExecute, func(w http.ResponseWriter, r *http.Request) {
 		var req ExecuteRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeFleetError(w, http.StatusBadRequest, err.Error())
+			writeFleetError(w, http.StatusBadRequest, "invalid_request", "", err.Error())
 			return
 		}
 		s.mu.Lock()
@@ -169,23 +169,20 @@ func TestDispatchRetriesDeadWorker(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	registerWorker(t, ts.URL, deadURL, 8, version.Engine)
-	registerWorker(t, ts.URL, live.ts.URL, 8, version.Engine)
+	// The dead worker advertises far more capacity, so the scorer's load
+	// term ((inflight+1)/capacity) deterministically places the first
+	// attempt on it — both are unmeasured, so RTT contributes equally.
+	registerWorker(t, ts.URL, deadURL, 16, version.Engine)
+	registerWorker(t, ts.URL, live.ts.URL, 1, version.Engine)
 
-	// Drive dispatches until one lands on the dead worker first (round-
-	// robin alternates, so at most two are needed).
-	sawRetry := false
-	for i := 0; i < 2 && !sawRetry; i++ {
-		resp, err := c.Dispatch(context.Background(), execReq(fmt.Sprintf("c%d", i)))
-		if err != nil {
-			t.Fatalf("dispatch %d: %v", i, err)
-		}
-		if resp.Worker != live.ts.URL {
-			t.Fatalf("dispatch %d won by %q, want the live stub", i, resp.Worker)
-		}
-		sawRetry = c.Stats.Retries.Load() > 0
+	resp, err := c.Dispatch(context.Background(), execReq("c0"))
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
 	}
-	if !sawRetry {
+	if resp.Worker != live.ts.URL {
+		t.Fatalf("dispatch won by %q, want the live stub", resp.Worker)
+	}
+	if c.Stats.Retries.Load() == 0 {
 		t.Fatalf("no dispatch retried off the dead worker (failures=%d)", c.Stats.Failures.Load())
 	}
 	ws := c.Workers()
@@ -207,24 +204,20 @@ func TestHedgedDispatchFirstValidWins(t *testing.T) {
 	slow := newStubWorker(t, func(int) time.Duration { return 300 * time.Millisecond })
 	fast := newStubWorker(t, nil)
 
-	// Round-robin is URL-sorted; register both and locate the slow one
-	// first by dispatching until the hedge path fires.
-	registerWorker(t, ts.URL, slow.ts.URL, 8, version.Engine)
-	registerWorker(t, ts.URL, fast.ts.URL, 8, version.Engine)
+	// The straggler advertises more capacity, so the scorer's load term
+	// deterministically places the first attempt on it (neither has an
+	// RTT measurement yet); the hedge then races the fast worker.
+	registerWorker(t, ts.URL, slow.ts.URL, 16, version.Engine)
+	registerWorker(t, ts.URL, fast.ts.URL, 1, version.Engine)
 
-	// Round-robin decides which worker an attempt lands on first; within
-	// two dispatches exactly one starts on the straggler and must hedge.
-	for i := 0; i < 2 && c.Stats.Hedges.Load() == 0; i++ {
-		start := time.Now()
-		resp, err := c.Dispatch(context.Background(), execReq(fmt.Sprintf("c%d", i)))
-		if err != nil {
-			t.Fatalf("dispatch %d: %v", i, err)
-		}
-		// The fast worker always wins: directly, or as the hedge racing a
-		// 300ms straggler.
-		if resp.Worker != fast.ts.URL {
-			t.Fatalf("dispatch %d won by %q after %v, want the fast worker", i, resp.Worker, time.Since(start))
-		}
+	start := time.Now()
+	resp, err := c.Dispatch(context.Background(), execReq("c0"))
+	if err != nil {
+		t.Fatalf("dispatch: %v", err)
+	}
+	// The fast worker wins as the hedge racing a 300ms straggler.
+	if resp.Worker != fast.ts.URL {
+		t.Fatalf("dispatch won by %q after %v, want the fast worker", resp.Worker, time.Since(start))
 	}
 	if c.Stats.Hedges.Load() != 1 || c.Stats.HedgeWins.Load() != 1 {
 		t.Fatalf("hedge accounting: hedges=%d wins=%d, want 1/1",

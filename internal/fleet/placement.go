@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Capacity-aware placement. Round-robin rotation treats a loaded,
+// distant, or flapping worker exactly like an idle local one; the
+// scorer instead ranks every live worker by the signals it already
+// reports back to the coordinator, and the dispatch picks the minimum:
+//
+//	score = load + rtt + penalty
+//
+//	load    = (inflight + 1) / capacity — the fraction of the worker's
+//	          declared capacity this dispatch would occupy. The +1
+//	          prices the attempt being placed, so an idle 1-slot worker
+//	          (1.0) ranks below an idle 8-slot worker (0.125).
+//	rtt     = rttEWMA / min(rttEWMA over candidates) — relative
+//	          round-trip cost, 1.0 for the fastest candidate. Workers
+//	          with no completed dispatch yet score 1.0 (optimistic, so
+//	          fresh workers get traffic and earn a measurement).
+//	penalty = decaying failure pressure (below).
+//
+// Hysteresis: each failed attempt adds penaltyPerFailure to the
+// worker's penalty, and the penalty halves every penaltyHalfLife. A
+// briefly slow or flapping worker is therefore *deprioritized* — other
+// candidates win while its penalty dominates — but never dropped: as
+// the penalty decays below penaltyFloor it vanishes entirely and the
+// worker's score converges back to load+rtt. (Hard connection failures
+// still drop the worker immediately; the penalty covers the soft
+// failures — timeouts, 5xx, identity mismatches — where dropping would
+// overreact.)
+const (
+	// penaltyPerFailure is the score added per failed attempt. One unit
+	// equals a full capacity's worth of load, so one failure roughly
+	// sends the next few cells elsewhere without blacklisting.
+	penaltyPerFailure = 1.0
+	// penaltyHalfLife is the decay half-life of accumulated penalty.
+	penaltyHalfLife = 5 * time.Second
+	// penaltyFloor is where decayed penalty snaps to zero — the
+	// convergence point of the hysteresis.
+	penaltyFloor = 1e-3
+)
+
+// failurePenaltyAt returns ws's decayed failure penalty at now.
+func (ws *workerState) failurePenaltyAt(now time.Time) float64 {
+	if ws.penalty <= 0 {
+		return 0
+	}
+	elapsed := now.Sub(ws.penaltyAt)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	p := ws.penalty * math.Exp2(-float64(elapsed)/float64(penaltyHalfLife))
+	if p < penaltyFloor {
+		return 0
+	}
+	return p
+}
+
+// addFailure folds one failed attempt into ws's penalty at now.
+func (ws *workerState) addFailure(now time.Time) {
+	ws.penalty = ws.failurePenaltyAt(now) + penaltyPerFailure
+	ws.penaltyAt = now
+}
+
+// rttEWMAAlpha weights the newest RTT sample in the per-worker EWMA.
+const rttEWMAAlpha = 0.3
+
+// observeRTT folds one successful attempt's round-trip time into ws.
+func (ws *workerState) observeRTT(rtt time.Duration) {
+	ns := float64(rtt)
+	if ws.rttEWMANs <= 0 {
+		ws.rttEWMANs = ns
+	} else {
+		ws.rttEWMANs = rttEWMAAlpha*ns + (1-rttEWMAAlpha)*ws.rttEWMANs
+	}
+	ws.rttHist.Observe(uint64(rtt))
+}
+
+// score ranks ws for one placement at now; lower wins. minRTT is the
+// smallest rttEWMANs among the decision's candidates (<=0 when no
+// candidate has a measurement yet).
+func (ws *workerState) score(now time.Time, minRTT float64) float64 {
+	capacity := ws.capacity
+	if capacity <= 0 {
+		capacity = 1
+	}
+	load := float64(ws.inflight+1) / float64(capacity)
+	rtt := 1.0
+	if ws.rttEWMANs > 0 && minRTT > 0 {
+		rtt = ws.rttEWMANs / minRTT
+	}
+	return load + rtt + ws.failurePenaltyAt(now)
+}
+
+// placementString renders the winning decision for event attribution:
+// the score and its components at pick time.
+func placementString(score float64, inflight, capacity int, rttNs, penalty float64) string {
+	return fmt.Sprintf("score=%.3f load=%d/%d rtt_ms=%.2f penalty=%.2f",
+		score, inflight, capacity, rttNs/1e6, penalty)
+}
+
+// histPercentile returns the inclusive upper bound (in raw units) of
+// the bucket containing the p-th percentile observation, or 0 when the
+// histogram is empty. The log2 buckets make this an upper bound within
+// 2× of the true value — plenty for a "is this worker slow" summary.
+func histPercentile(snap obs.HistogramSnapshot, p float64) uint64 {
+	if snap.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(snap.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i := 0; i < obs.HistogramBuckets; i++ {
+		cum += snap.Counts[i]
+		if cum >= rank {
+			return obs.BucketBound(i)
+		}
+	}
+	return obs.BucketBound(obs.HistogramBuckets - 1)
+}

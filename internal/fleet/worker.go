@@ -11,8 +11,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/diskstore"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -25,11 +27,19 @@ import (
 type WorkerConfig struct {
 	// Coordinator is the coordinator's base URL ("http://host:port").
 	Coordinator string
+	// Token is the fleet's shared secret; must match the coordinator's
+	// -fleet-token or every registration is refused with 401. Empty
+	// disables signing.
+	Token string
 	// Capacity is advertised to the coordinator as the max concurrent
-	// cells this worker wants (<=0 lets the coordinator default it).
+	// cells this worker wants (<=0 lets the coordinator default it). The
+	// worker also enforces it locally: execute requests beyond capacity
+	// are refused with 429 so an overeager or skewed coordinator cannot
+	// pile work past what was advertised.
 	Capacity int
 	// Cache and Store are the worker's local tiers, consulted before
-	// peer fill and execution; either may be nil.
+	// peer fill and execution, and served back to the fleet via the
+	// cell-read endpoint; either may be nil.
 	Cache *resultcache.Cache
 	Store *diskstore.Store
 	// Heartbeat is the registration re-POST interval (default 2s).
@@ -56,6 +66,14 @@ type WorkerMetrics struct {
 	// PeerFills counts cells served by asking the coordinator's store
 	// instead of executing.
 	PeerFills obs.Counter
+	// CellServes counts cell-read requests this worker answered from its
+	// own tiers — the worker's half of bidirectional peer fill.
+	CellServes obs.Counter
+	// AuthRejections counts fleet requests this worker refused with 401.
+	AuthRejections obs.Counter
+	// Rejections counts execute requests refused with 429 because the
+	// worker was already at its advertised capacity.
+	Rejections obs.Counter
 	// Errors counts execute requests that failed (bad plan coordinate,
 	// identity mismatch, or execution error).
 	Errors obs.Counter
@@ -68,12 +86,15 @@ type WorkerMetrics struct {
 type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
+	auth   *authenticator
 
 	// Stats holds the worker counters; read directly by /metrics.
 	Stats WorkerMetrics
 
 	mu        sync.Mutex
 	advertise string
+
+	inflight atomic.Int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -91,12 +112,29 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		client = defaultClient()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Worker{cfg: cfg, client: client, ctx: ctx, cancel: cancel}
+	return &Worker{
+		cfg:    cfg,
+		client: client,
+		auth:   newAuthenticator(cfg.Token),
+		ctx:    ctx,
+		cancel: cancel,
+	}
 }
 
-// RegisterHandlers mounts the worker's execute endpoint.
+// RegisterHandlers mounts the worker's fleet endpoints: cell execution,
+// and the cell-read endpoint that exposes the worker's own memory+disk
+// tiers to the rest of the fleet (the coordinator relays misses here).
 func (w *Worker) RegisterHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+PathExecute, w.handleExecute)
+	mux.HandleFunc("GET "+PathCells+"{key}", w.handleCell)
+}
+
+// capacity is the worker's locally-enforced concurrent execute bound.
+func (w *Worker) capacity() int64 {
+	if w.cfg.Capacity > 0 {
+		return int64(w.cfg.Capacity)
+	}
+	return 4 // mirrors the coordinator's DefaultCapacity
 }
 
 // Start begins registering (and re-registering every heartbeat) with
@@ -133,8 +171,8 @@ func (w *Worker) heartbeatLoop() {
 	}
 }
 
-// register POSTs one registration/heartbeat, bounded by the heartbeat
-// interval so a hung coordinator cannot back the loop up.
+// register POSTs one signed registration/heartbeat, bounded by the
+// heartbeat interval so a hung coordinator cannot back the loop up.
 func (w *Worker) register() {
 	w.mu.Lock()
 	advertise := w.advertise
@@ -155,6 +193,7 @@ func (w *Worker) register() {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	w.auth.sign(req, body)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		w.logf("fleet: register with %s: %v", w.cfg.Coordinator, err)
@@ -164,7 +203,9 @@ func (w *Worker) register() {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
 		// 409 is engine-version skew: permanent until redeploy, but a
-		// redeploy is exactly what fixes it, so keep heartbeating.
+		// redeploy is exactly what fixes it, so keep heartbeating. 401 is
+		// a token mismatch — same deal: fixing the flag and restarting is
+		// the remedy, and the log line says which daemon to fix.
 		w.logf("fleet: register with %s: status %d: %.200s", w.cfg.Coordinator, resp.StatusCode, msg)
 	}
 }
@@ -181,23 +222,50 @@ func (w *Worker) logf(format string, args ...any) {
 // response carries the cell's canonical bytes and their provenance.
 func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	w.Stats.Requests.Inc()
+	api.EchoRequestID(rw, r)
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		w.Stats.Errors.Inc()
+		writeFleetError(rw, http.StatusBadRequest, "invalid_request", "", fmt.Sprintf("read body: %v", err))
+		return
+	}
+	if err := w.auth.verify(r, raw); err != nil {
+		w.Stats.AuthRejections.Inc()
+		writeAuthError(rw, err)
+		return
+	}
 	var req ExecuteRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("bad execute body: %v", err))
+		writeFleetError(rw, http.StatusBadRequest, "invalid_request", "", fmt.Sprintf("bad execute body: %v", err))
 		return
 	}
+	// Enforce the advertised capacity locally: a worker is the authority
+	// on its own concurrency, whatever the coordinator believes. The
+	// Retry-After matches the coordinator's backoff scale — the refused
+	// attempt retries elsewhere, and capacity frees within a cell's
+	// execution time.
+	if n := w.inflight.Add(1); n > w.capacity() {
+		w.inflight.Add(-1)
+		w.Stats.Rejections.Inc()
+		rw.Header().Set("Retry-After", "1")
+		writeFleetError(rw, http.StatusTooManyRequests, "over_capacity", "",
+			fmt.Sprintf("worker at capacity (%d cells in flight)", w.capacity()))
+		return
+	}
+	defer w.inflight.Add(-1)
 	plan, err := experiments.Cells(req.Kind, req.Params)
 	if err != nil {
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("cell plan: %v", err))
+		writeFleetError(rw, http.StatusBadRequest, "invalid_param", "params", fmt.Sprintf("cell plan: %v", err))
 		return
 	}
 	if req.Index < 0 || req.Index >= len(plan.Cells) {
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusBadRequest, fmt.Sprintf("cell index %d outside plan (%d cells)", req.Index, len(plan.Cells)))
+		writeFleetError(rw, http.StatusBadRequest, "invalid_param", "index",
+			fmt.Sprintf("cell index %d outside plan (%d cells)", req.Index, len(plan.Cells)))
 		return
 	}
 	cell := &plan.Cells[req.Index]
@@ -207,14 +275,14 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 		// engine-version skew or a protocol bug. Refusing is the only
 		// safe answer: these bytes would be filed under the wrong key.
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusConflict, fmt.Sprintf(
+		writeFleetError(rw, http.StatusConflict, "plan_mismatch", "", fmt.Sprintf(
 			"plan mismatch: computed cell %q key %.16s, dispatched %q %.16s", cell.ID, key, req.CellID, req.Key))
 		return
 	}
 	w.mu.Lock()
 	advertise := w.advertise
 	w.mu.Unlock()
-	resp := ExecuteResponse{CellID: cell.ID, Key: key, Worker: advertise, Engine: cell.Engine}
+	resp := ExecuteResponse{APIVersion: api.Version, CellID: cell.ID, Key: key, Worker: advertise, Engine: cell.Engine}
 
 	if w.cfg.Cache != nil {
 		if body, ok := w.cfg.Cache.Get(key); ok {
@@ -235,7 +303,7 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if body, costNs, ok := w.peerFetch(r.Context(), key); ok {
+	if body, costNs, ok := w.peerFetch(r.Context(), key, r.Header.Get(api.RequestIDHeader)); ok {
 		w.Stats.PeerFills.Inc()
 		if w.cfg.Cache != nil {
 			w.cfg.Cache.PutCost(key, body, costNs)
@@ -253,21 +321,21 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	})
 	if runErr != nil {
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusInternalServerError, fmt.Sprintf("cell %s: %v", cell.ID, runErr))
+		writeFleetError(rw, http.StatusInternalServerError, "internal", "", fmt.Sprintf("cell %s: %v", cell.ID, runErr))
 		return
 	}
 	body, err := report.CanonicalJSON(res)
 	if err != nil {
 		w.Stats.Errors.Inc()
-		writeFleetError(rw, http.StatusInternalServerError, fmt.Sprintf("encode cell %s: %v", cell.ID, err))
+		writeFleetError(rw, http.StatusInternalServerError, "internal", "", fmt.Sprintf("encode cell %s: %v", cell.ID, err))
 		return
 	}
 	elapsed := uint64(time.Since(start))
 	w.Stats.Executions.Inc()
 	w.Stats.ExecNs.Observe(elapsed)
 	// Cache locally in both tiers: the worker's future dispatches (and
-	// its own client traffic, if any) reuse the work even if the
-	// coordinator's copy is evicted.
+	// the rest of the fleet, via the cell-read endpoint) reuse the work
+	// even if the coordinator's copy is evicted.
 	if w.cfg.Cache != nil {
 		w.cfg.Cache.PutCost(key, body, elapsed)
 	}
@@ -278,10 +346,41 @@ func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
 	writeFleetJSON(rw, http.StatusOK, resp)
 }
 
+// handleCell serves the worker's own tiers to the fleet: the read half
+// of bidirectional peer fill. The coordinator relays its own cell-read
+// misses here, so bytes only this worker ever computed are reachable
+// from every other fleet member.
+func (w *Worker) handleCell(rw http.ResponseWriter, r *http.Request) {
+	api.EchoRequestID(rw, r)
+	if err := w.auth.verify(r, nil); err != nil {
+		w.Stats.AuthRejections.Inc()
+		writeAuthError(rw, err)
+		return
+	}
+	key := r.PathValue("key")
+	if w.cfg.Cache != nil {
+		if body, costNs, ok := w.cfg.Cache.GetCost(key); ok {
+			w.Stats.CellServes.Inc()
+			serveCell(rw, body, costNs)
+			return
+		}
+	}
+	if w.cfg.Store != nil {
+		if body, costNs, ok := w.cfg.Store.Get(key); ok {
+			w.Stats.CellServes.Inc()
+			serveCell(rw, body, costNs)
+			return
+		}
+	}
+	writeFleetError(rw, http.StatusNotFound, "not_found", "", "cell not in this worker's tiers")
+}
+
 // peerFetch asks the coordinator's cache tiers for a cell body before
 // paying to execute it — the fleet-wide read path that makes N daemons
-// one logical cache.
-func (w *Worker) peerFetch(ctx context.Context, key string) ([]byte, uint64, bool) {
+// one logical cache. The X-Fleet-Peer header names this worker so the
+// coordinator's relay skips it, and the request id rides along so the
+// whole fan-out correlates.
+func (w *Worker) peerFetch(ctx context.Context, key, requestID string) ([]byte, uint64, bool) {
 	if w.cfg.Coordinator == "" {
 		return nil, 0, false
 	}
@@ -289,6 +388,13 @@ func (w *Worker) peerFetch(ctx context.Context, key string) ([]byte, uint64, boo
 	if err != nil {
 		return nil, 0, false
 	}
+	w.mu.Lock()
+	req.Header.Set(peerHeader, w.advertise)
+	w.mu.Unlock()
+	if requestID != "" {
+		req.Header.Set(api.RequestIDHeader, requestID)
+	}
+	w.auth.sign(req, nil)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return nil, 0, false

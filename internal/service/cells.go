@@ -54,7 +54,12 @@ type jobEvent struct {
 	Engine string `json:"engine,omitempty"`
 	// Worker is the advertised URL of the fleet worker that produced a
 	// remotely executed cell; empty for local execution and cache tiers.
-	Worker         string `json:"worker,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	// Placement attributes the coordinator's scored placement decision
+	// for a remotely executed cell ("score=… load=… rtt_ms=… penalty=…",
+	// or "peer_fill" when a worker's cache tier served the bytes after
+	// dispatch failed); empty for local execution and cache tiers.
+	Placement      string `json:"placement,omitempty"`
 	CellsTotal     int    `json:"cells_total"`
 	CellsDone      int    `json:"cells_done"`
 	CellsFromCache int    `json:"cells_from_cache"`
@@ -131,8 +136,9 @@ func (t *cellTracker) appendLocked(ev jobEvent) {
 // recordCell logs one completed cell; cache is "hit" (memory), "disk"
 // (persistent tier), or "miss", engine the cell's resolved tier ("" for
 // kinds without one), worker the fleet worker that executed a remote
-// cell ("" for local execution and cache tiers).
-func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine, worker string) {
+// cell ("" for local execution and cache tiers), placement the scored
+// decision that routed it there.
+func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine, worker, placement string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.done++
@@ -149,7 +155,7 @@ func (t *cellTracker) recordCell(jobID, cellID string, index int, cache, engine,
 		}
 		t.workers[worker]++
 	}
-	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine, Worker: worker})
+	t.appendLocked(jobEvent{Type: "cell", JobID: jobID, Cell: cellID, Index: index, Cache: cache, Engine: engine, Worker: worker, Placement: placement})
 }
 
 // recordTerminal logs the job's final event. Called from setTerminal
@@ -180,6 +186,16 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 	}
 	j.cells.setTotal(len(plan.Cells))
 	ctx := obs.WithCollector(j.ctx, j.stats)
+	// In coordinator mode the campaign gets one re-dispatch budget for
+	// all its cells: every retry and hedge spends a unit, and exhaustion
+	// degrades to local execution (never failure). Published on the job
+	// so status views report budget_exhausted live.
+	if s.fleet != nil {
+		b := fleet.NewBudget(s.cfg.HedgeBudget)
+		j.mu.Lock()
+		j.budget = b
+		j.mu.Unlock()
+	}
 	partials := make([][]byte, len(plan.Cells))
 	err = parallel.ForEach(ctx, j.params.Workers, len(plan.Cells), func(ctx context.Context, i int) error {
 		cell := &plan.Cells[i]
@@ -187,7 +203,7 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 		if body, ok := s.cellCache.Get(key); ok {
 			s.metrics.cells.Hits.Inc()
 			partials[i] = body
-			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine, "")
+			j.cells.recordCell(j.id, cell.ID, i, "hit", cell.Engine, "", "")
 			return nil
 		}
 		// Disk tier: a cell some earlier process (or an evicted cache
@@ -198,7 +214,7 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 				s.metrics.cells.DiskHits.Inc()
 				s.cellCache.PutCost(key, body, costNs)
 				partials[i] = body
-				j.cells.recordCell(j.id, cell.ID, i, "disk", cell.Engine, "")
+				j.cells.recordCell(j.id, cell.ID, i, "disk", cell.Engine, "", "")
 				return nil
 			}
 		}
@@ -207,22 +223,27 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 		// Fleet dispatch: in coordinator mode a missed cell is executed
 		// on a worker, with retry/hedging absorbed inside Dispatch so
 		// exactly one result ever comes back per miss — the Misses ==
-		// Executions invariant is placement-independent. Any dispatch
-		// failure (no live workers, every attempt failed) falls back to
-		// local execution: the fleet accelerates campaigns, never gates
-		// them.
+		// Executions invariant is placement-independent. When dispatch
+		// cannot produce a result (no live workers, budget exhausted,
+		// every attempt failed), bidirectional peer fill gets one shot —
+		// a worker's cache tier may still hold bytes the fleet already
+		// paid for — and then the cell falls back to local execution:
+		// the fleet accelerates campaigns, never gates them.
 		var body []byte
-		var workerURL string
+		var workerURL, placement string
 		costNs := uint64(0)
 		if s.fleet != nil {
-			if resp, err := s.fleet.Dispatch(ctx, fleet.ExecuteRequest{
-				Kind:   plan.Kind,
-				Params: j.params,
-				Index:  i,
-				CellID: cell.ID,
-				Key:    key,
-			}); err == nil {
-				body, workerURL, costNs = resp.Body, resp.Worker, resp.ExecNs
+			if resp, err := s.fleet.DispatchBudget(ctx, fleet.ExecuteRequest{
+				Kind:      plan.Kind,
+				Params:    j.params,
+				Index:     i,
+				CellID:    cell.ID,
+				Key:       key,
+				RequestID: j.requestID,
+			}, j.budget); err == nil {
+				body, workerURL, costNs, placement = resp.Body, resp.Worker, resp.ExecNs, resp.Placement
+			} else if pb, pc, pw, ok := s.fleet.PeerFill(ctx, key); ok {
+				body, workerURL, costNs, placement = pb, pw, pc, "peer_fill"
 			}
 		}
 		if body == nil {
@@ -268,11 +289,14 @@ func (s *Server) runCells(j *job) ([]byte, error) {
 			s.store.Put(key, body, costNs)
 		}
 		partials[i] = body
-		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine, workerURL)
+		j.cells.recordCell(j.id, cell.ID, i, "miss", cell.Engine, workerURL, placement)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.fleet != nil && j.budget.Exhausted() {
+		s.fleet.Stats.BudgetExhausted.Inc()
 	}
 	start := time.Now()
 	res, err := plan.Merge(j.ctx, partials)

@@ -4,40 +4,23 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 )
 
 // apiVersion stamps every /v1 JSON body (job views, listings, error
-// envelopes, stream events) so clients can detect surface changes
-// without relying on response headers.
-const apiVersion = "v1"
+// envelopes, stream events). The constant — and the envelope shape —
+// live in internal/api, shared with the fleet wire surface so the two
+// cannot drift.
+const apiVersion = api.Version
 
-// apiError is the machine-readable error payload carried by every
-// non-2xx /v1 response.
-type apiError struct {
-	// Code is a stable, grep-able identifier: invalid_request,
-	// unknown_kind, invalid_param, queue_full, draining, not_found,
-	// job_failed, job_canceled, job_not_finished, internal.
-	Code string `json:"code"`
-	// Message is the human-readable description.
-	Message string `json:"message"`
-	// Field names the offending parameter for validation failures, as a
-	// path into the request body (e.g. "params.mix", "params.policies[1]").
-	Field string `json:"field,omitempty"`
-}
-
-// errorEnvelope is the wire form of a failed request.
-type errorEnvelope struct {
-	APIVersion string   `json:"api_version"`
-	Error      apiError `json:"error"`
-}
+// errorEnvelope aliases the shared wire form so in-package tests (and
+// older call sites) keep decoding against the service's own name.
+type errorEnvelope = api.ErrorEnvelope
 
 // writeAPIError writes the uniform error envelope.
 func writeAPIError(w http.ResponseWriter, status int, code, field, msg string) {
-	writeJSON(w, status, errorEnvelope{
-		APIVersion: apiVersion,
-		Error:      apiError{Code: code, Message: msg, Field: field},
-	})
+	api.WriteError(w, status, code, field, msg)
 }
 
 // apiParamError maps a parameter-validation failure to the envelope,

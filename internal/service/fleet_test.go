@@ -1,0 +1,275 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fleet"
+	"repro/internal/version"
+)
+
+// registerFleetWorker POSTs one worker registration to the service's own
+// mux (the coordinator's fleet endpoints are mounted there).
+func registerFleetWorker(t *testing.T, e *testEnv, url string, capacity int) string {
+	t.Helper()
+	body, _ := json.Marshal(fleet.RegisterRequest{URL: url, Capacity: capacity, EngineVersion: version.Engine})
+	resp, err := http.Post(e.url+fleet.PathRegister, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack fleet.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: status %d, decode err %v", url, resp.StatusCode, err)
+	}
+	return ack.ID
+}
+
+// TestFleetBudgetExhaustedFallsBackLocal pins the re-dispatch budget's
+// end-to-end contract: with every fleet worker dead and a one-unit
+// budget, the campaign spends its single retry, stops re-dispatching,
+// executes every cell locally — with a final body byte-identical to a
+// fleet-less daemon's — and reports budget_exhausted in the job view and
+// the exhaustion counter in /metrics.
+func TestFleetBudgetExhaustedFallsBackLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign runs in -short mode")
+	}
+	coord := fleet.NewCoordinator(fleet.Config{
+		Backoff:    time.Millisecond,
+		HedgeDelay: time.Minute, // retries only; hedging stays out of the picture
+	})
+	e := newEnv(t, Config{Fleet: coord, HedgeBudget: 1})
+	plain := newEnv(t, Config{}) // no fleet: the reference for byte-identity
+
+	// Two dead workers: both connection-refused on dispatch. Capacity is
+	// irrelevant — they never accept anything.
+	registerFleetWorker(t, e, "http://127.0.0.1:1", 16)
+	registerFleetWorker(t, e, "http://127.0.0.1:2", 16)
+
+	campaign := `{"kind":"compare","params":{"fast":true,"reps":1,"mix":5,"policies":["Equipartition","Dynamic"],"workers":2}}`
+	resp := e.submit(campaign)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("campaign with dead fleet: %d %s", resp.StatusCode, body)
+	}
+
+	// Byte-identity: budget exhaustion degraded to local execution, and
+	// local execution is the same merge the fleet-less daemon performs.
+	ref := plain.submit(campaign)
+	refBody := readAll(t, ref)
+	if ref.StatusCode != http.StatusOK {
+		t.Fatalf("fleet-less reference: %d %s", ref.StatusCode, refBody)
+	}
+	if !bytes.Equal(body, refBody) {
+		t.Errorf("budget-exhausted body differs from fleet-less run:\n%.200s\n%.200s", body, refBody)
+	}
+
+	// The exhaustion is reported, not hidden: job view and metrics.
+	var list struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	jl, err := http.Get(e.url + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readAll(t, jl), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("jobs listed: %d, want 1", len(list.Jobs))
+	}
+	if !list.Jobs[0].BudgetExhausted {
+		t.Errorf("job view budget_exhausted = false, want true: %+v", list.Jobs[0])
+	}
+	// The budget is the ceiling on overshoot: across the whole campaign,
+	// retries plus hedges never exceed the single budgeted unit (they can
+	// total zero — with both cells racing, the sole unit can be claimed
+	// by a relaunch that then finds every worker already dropped).
+	if got := coord.Stats.Retries.Load() + coord.Stats.Hedges.Load(); got > 1 {
+		t.Errorf("fleet retries+hedges = %d, want <= the budgeted 1", got)
+	}
+	mr, err := http.Get(e.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(readAll(t, mr))
+	if !strings.Contains(metrics, "affinityd_fleet_budget_exhausted_total 1") {
+		t.Errorf("metrics missing affinityd_fleet_budget_exhausted_total 1:\n%s", metrics)
+	}
+
+	// A fleet-less daemon never reports the field at all (omitempty): the
+	// raw listing JSON must not mention it.
+	pl, err := http.Get(plain.url + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := string(readAll(t, pl)); strings.Contains(raw, "budget_exhausted") {
+		t.Errorf("fleet-less job listing leaks budget_exhausted:\n%s", raw)
+	}
+}
+
+// TestWorkersPaginationAndDetail drives GET /v1/workers through the
+// /v1/jobs listing conventions — keyset pagination by worker id, status
+// filters, envelope-wrapped parameter errors — and GET /v1/workers/{id}
+// through found/missing/non-coordinator.
+func TestWorkersPaginationAndDetail(t *testing.T) {
+	coord := fleet.NewCoordinator(fleet.Config{})
+	e := newEnv(t, Config{Fleet: coord})
+
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		ids = append(ids, registerFleetWorker(t, e, fmt.Sprintf("http://worker-%d:7101", i), 2))
+	}
+
+	type listing struct {
+		APIVersion    string             `json:"api_version"`
+		Coordinator   bool               `json:"coordinator"`
+		Workers       []fleet.WorkerView `json:"workers"`
+		NextPageToken string             `json:"next_page_token"`
+	}
+	getList := func(query string) listing {
+		t.Helper()
+		resp, err := http.Get(e.url + "/v1/workers" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/workers%s: %d %s", query, resp.StatusCode, b)
+		}
+		var l listing
+		if err := json.Unmarshal(b, &l); err != nil {
+			t.Fatal(err)
+		}
+		if l.APIVersion != api.Version || !l.Coordinator {
+			t.Fatalf("listing header wrong: %+v", l)
+		}
+		return l
+	}
+
+	// Walk the full keyset in pages of 2: 2 + 2 + 1, ids strictly
+	// ascending across the walk, token absent on the last page.
+	var walked []string
+	token := ""
+	for page := 0; ; page++ {
+		q := "?limit=2"
+		if token != "" {
+			q += "&page_token=" + token
+		}
+		l := getList(q)
+		if len(l.Workers) > 2 {
+			t.Fatalf("page %d: %d workers, limit 2", page, len(l.Workers))
+		}
+		for _, w := range l.Workers {
+			if n := len(walked); n > 0 && w.ID <= walked[n-1] {
+				t.Fatalf("page %d: id %s out of order after %s", page, w.ID, walked[n-1])
+			}
+			walked = append(walked, w.ID)
+		}
+		if l.NextPageToken == "" {
+			break
+		}
+		token = l.NextPageToken
+		if page > 5 {
+			t.Fatal("pagination never terminated")
+		}
+	}
+	if len(walked) != 5 {
+		t.Fatalf("walked %d workers, want 5: %v", len(walked), walked)
+	}
+
+	// Status filters: every worker is idle (nothing dispatched).
+	if l := getList("?status=idle"); len(l.Workers) != 5 {
+		t.Errorf("status=idle: %d workers, want 5", len(l.Workers))
+	}
+	if l := getList("?status=busy"); len(l.Workers) != 0 {
+		t.Errorf("status=busy: %d workers, want 0", len(l.Workers))
+	}
+
+	// Parameter errors come back in the standard envelope with the
+	// offending field named.
+	for _, tc := range []struct{ query, field string }{
+		{"?status=frobnicate", "status"},
+		{"?limit=1001", "limit"},
+		{"?limit=0", "limit"},
+		{"?page_token=not-a-worker-id", "page_token"},
+	} {
+		resp, err := http.Get(e.url + "/v1/workers" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.query, resp.StatusCode)
+			continue
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(b, &env); err != nil {
+			t.Fatalf("%s: not an envelope: %s", tc.query, b)
+		}
+		if env.Error.Code != "invalid_param" || env.Error.Field != tc.field {
+			t.Errorf("%s: error = %+v, want invalid_param on %s", tc.query, env.Error, tc.field)
+		}
+	}
+
+	// Detail: a registered worker's row plus its placement signals.
+	resp, err := http.Get(e.url + "/v1/workers/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker detail: %d %s", resp.StatusCode, b)
+	}
+	var d fleet.WorkerDetail
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.APIVersion != api.Version || d.ID != ids[0] || d.URL != "http://worker-0:7101" {
+		t.Errorf("detail = %+v, want id %s for worker-0", d, ids[0])
+	}
+	if d.FailurePenalty != 0 || d.RTTCount != 0 {
+		t.Errorf("fresh worker signals: penalty=%v rtt_count=%d, want zeros", d.FailurePenalty, d.RTTCount)
+	}
+
+	// Unknown (well-formed) id: 404 envelope.
+	resp, err = http.Get(e.url + "/v1/workers/w000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := readAll(t, resp); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown worker: %d %s, want 404", resp.StatusCode, b)
+	}
+
+	// Non-coordinator daemon: the listing endpoint exists (role probe),
+	// the detail endpoint 404s.
+	plain := newEnv(t, Config{})
+	resp, err = http.Get(plain.url + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l listing
+	if err := json.Unmarshal(readAll(t, resp), &l); err != nil {
+		t.Fatal(err)
+	}
+	if l.Coordinator || len(l.Workers) != 0 {
+		t.Errorf("non-coordinator listing = %+v, want coordinator=false, no workers", l)
+	}
+	resp, err = http.Get(plain.url + "/v1/workers/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("non-coordinator detail: %d, want 404", resp.StatusCode)
+	}
+}

@@ -43,7 +43,8 @@
 //	GET    /v1/jobs/{id}/events NDJSON stream of per-cell progress events
 //	GET    /v1/jobs/{id}/stats  job's simulation-counter decomposition
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
-//	GET    /v1/workers          fleet worker registry (coordinator mode)
+//	GET    /v1/workers          fleet worker registry (?status=, limit, page_token)
+//	GET    /v1/workers/{id}     one worker's detail: RTT summary, penalty, counters
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text exposition
 //	GET    /debug/pprof/...     runtime profiles (Config.EnablePprof only)
@@ -151,6 +152,12 @@ type Config struct {
 	// in -join mode. A daemon can be a worker and still serve its own
 	// /v1 traffic.
 	FleetWorker *fleet.Worker
+	// HedgeBudget caps the total retries + hedges one campaign may spend
+	// across all its cells in coordinator mode (default 16; <0 means
+	// unlimited). A campaign that exhausts it keeps completing — cells
+	// fall back to local execution — and its job view reports
+	// budget_exhausted so operators see which campaigns hit the cap.
+	HedgeBudget int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default
 	// off: the profiling surface stays closed unless explicitly opened).
 	EnablePprof bool
@@ -181,6 +188,9 @@ func (c Config) withDefaults() Config {
 	if c.Runner == nil {
 		c.Runner = registryRunner
 	}
+	if c.HedgeBudget == 0 {
+		c.HedgeBudget = 16
+	}
 	return c
 }
 
@@ -208,6 +218,10 @@ type job struct {
 	// cells tracks cell-level progress and the job's event log; it has
 	// its own lock and is safe to read at any lifecycle stage.
 	cells *cellTracker
+	// budget is the campaign's fleet re-dispatch budget (retries +
+	// hedges); nil outside coordinator mode. Set under mu before the
+	// first dispatch; its own state is atomic.
+	budget *fleet.Budget
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -277,6 +291,7 @@ func (j *job) view() jobView {
 	}
 	v.CellsTotal, v.CellsDone, v.CellsFromCache, v.CellsFromDisk = j.cells.counts()
 	v.CellsRemote, v.Workers = j.cells.remoteCounts()
+	v.BudgetExhausted = j.budget.Exhausted()
 	if !j.started.IsZero() {
 		v.Started = j.started.UTC().Format(time.RFC3339Nano)
 	}
@@ -319,6 +334,9 @@ type jobView struct {
 	// coordinator mode.
 	CellsRemote int            `json:"cells_remote,omitempty"`
 	Workers     map[string]int `json:"workers,omitempty"`
+	// BudgetExhausted reports that the campaign spent its entire fleet
+	// re-dispatch budget (-hedge-budget); later cells ran locally.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 	ResultURL   string         `json:"result_url,omitempty"`
 	EventsURL   string         `json:"events_url,omitempty"`
 }
@@ -397,6 +415,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
+	s.mux.HandleFunc("GET /v1/workers/{id}", s.handleWorkerDetail)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics.serve)
 	if s.fleet != nil {
@@ -1004,11 +1023,58 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// validWorkerID reports whether id has the shape WorkerID mints: "w"
+// followed by 12 hex digits.
+func validWorkerID(id string) bool {
+	if len(id) != 13 || id[0] != 'w' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // handleListWorkers surfaces fleet state: the registered (unexpired)
 // workers when this daemon is a coordinator, or an empty listing with
 // coordinator=false when it is not — the endpoint exists either way so
-// clients can probe a daemon's role.
+// clients can probe a daemon's role. The listing follows the same
+// conventions as GET /v1/jobs: a ?status= filter (idle|busy, by
+// in-flight count), limit (default 100, max 1000), and keyset
+// pagination ordered by worker id with page_token = the last id of the
+// previous page. A token that is not a worker id is 400 invalid_param;
+// a token naming a worker that has since expired is still a valid
+// position.
 func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := q.Get("status")
+	if status != "" && status != "idle" && status != "busy" {
+		writeAPIError(w, http.StatusBadRequest, "invalid_param", "status",
+			fmt.Sprintf("unknown status %q (want idle|busy)", status))
+		return
+	}
+	limit := 100
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 || n > 1000 {
+			writeAPIError(w, http.StatusBadRequest, "invalid_param", "limit",
+				fmt.Sprintf("limit %q outside [1,1000]", ls))
+			return
+		}
+		limit = n
+	}
+	after := ""
+	if token := q.Get("page_token"); token != "" {
+		if !validWorkerID(token) {
+			writeAPIError(w, http.StatusBadRequest, "invalid_param", "page_token",
+				fmt.Sprintf("malformed page token %q (want a worker id)", token))
+			return
+		}
+		after = token
+	}
 	if s.fleet == nil {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"api_version": apiVersion,
@@ -1017,11 +1083,51 @@ func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	all := s.fleet.Workers() // sorted by id — the pagination keyset
+	page := make([]fleet.WorkerView, 0, min(limit, len(all)))
+	next := ""
+	for _, v := range all {
+		if v.ID <= after {
+			continue
+		}
+		if status == "idle" && v.InFlight != 0 {
+			continue
+		}
+		if status == "busy" && v.InFlight == 0 {
+			continue
+		}
+		if len(page) == limit {
+			next = page[limit-1].ID
+			break
+		}
+		page = append(page, v)
+	}
+	resp := map[string]any{
 		"api_version": apiVersion,
 		"coordinator": true,
-		"workers":     s.fleet.Workers(),
-	})
+		"workers":     page,
+	}
+	if next != "" {
+		resp["next_page_token"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWorkerDetail serves one worker's placement signals — the RTT
+// histogram summary and failure penalty behind the scorer — alongside
+// its listing row. 404s outside coordinator mode (a non-coordinator has
+// no workers) and for expired or unknown ids.
+func (s *Server) handleWorkerDetail(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		writeAPIError(w, http.StatusNotFound, "not_found", "", "not a fleet coordinator")
+		return
+	}
+	d, ok := s.fleet.WorkerByID(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, "not_found", "", "no such worker (expired workers drop from the registry)")
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
